@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+One :class:`ExperimentContext` is built per session with the canonical
+reduced-scale settings; trained victims are cached on disk under
+``.cache/`` so repeated benchmark runs skip training.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Ablation: exact WMD (transport LP) vs relaxed lower bound (RWMD).
+
+The sentence filter uses the relaxed bound for speed; this bench measures
+the speedup and checks the bound's tightness on corpus sentence pairs.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.text.sentence import split_sentences
+from repro.text.wmd import relaxed_wmd, wmd
+
+
+def test_exact_vs_relaxed_wmd(ctx, benchmark):
+    vectors = ctx.vectors("yelp")
+    docs = ctx.dataset("yelp").documents("test")[:12]
+    sentences = [s for d in docs for s in split_sentences(d)][:40]
+    pairs = [(sentences[i], sentences[i + 1]) for i in range(0, len(sentences) - 1, 2)]
+
+    def run():
+        t0 = time.perf_counter()
+        exact = [wmd(a, b, vectors) for a, b in pairs]
+        t_exact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        relaxed = [relaxed_wmd(a, b, vectors) for a, b in pairs]
+        t_relaxed = time.perf_counter() - t0
+        return exact, relaxed, t_exact, t_relaxed
+
+    exact, relaxed, t_exact, t_relaxed = run_once(benchmark, run)
+    finite = [(e, r) for e, r in zip(exact, relaxed) if np.isfinite(e)]
+    tightness = [r / e for e, r in finite if e > 1e-9]
+    print("\n=== Ablation: exact vs relaxed WMD ===")
+    print(f"  pairs={len(pairs)}  exact={t_exact:.4f}s  relaxed={t_relaxed:.4f}s "
+          f"speedup={t_exact / max(t_relaxed, 1e-9):.1f}x")
+    print(f"  mean tightness (RWMD/WMD) = {np.mean(tightness):.3f}")
+    for e, r in finite:
+        assert r <= e + 1e-9  # lower bound
+    assert t_relaxed < t_exact  # and faster
+    assert np.mean(tightness) > 0.6  # reasonably tight, as in Kusner et al.

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the appendix-C method-comparison examples."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import appendix_examples
+
+
+def test_appendix_method_comparison(ctx, benchmark):
+    comparisons = run_once(benchmark, lambda: appendix_examples.run(ctx))
+    print("\n=== Appendix C: per-method adversarial examples ===")
+    print(appendix_examples.render(comparisons))
+    assert len(comparisons) == 3
+    for comp in comparisons:
+        assert set(comp.results) == {"joint", "objective-greedy", "gradient"}
+        for result in comp.results.values():
+            # no method may decrease the target probability (gradient may
+            # be a no-op, never worse than original on its final output)
+            assert result.adversarial_prob >= 0.0

@@ -1,0 +1,86 @@
+"""Extension study: how submodular are *real trained* classifiers?
+
+Theorems 1-2 prove submodularity for simplified architectures only; the
+paper argues it is a natural assumption in general.  This bench measures
+the diminishing-returns violation rate of the exact Problem-1 set function
+for the trained WCNN and LSTM on real test documents, plus the empirical
+greedy/OPT ratio (which the (1 − 1/e) bound predicts under submodularity).
+
+Expected shape: low violation rates with small relative gaps, and
+greedy/OPT ratios far above 1 − 1/e — greedy is near-optimal in practice
+even where exact submodularity fails.
+"""
+
+import itertools
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.submodular import (
+    CachedSetFunction,
+    classifier_attack_set_function,
+    greedy_maximize,
+    submodularity_violation_stats,
+)
+
+
+def test_trained_network_submodularity(ctx, benchmark):
+    def run():
+        rows = []
+        for dataset in ("trec07p", "yelp"):
+            for arch in ("wcnn", "lstm"):
+                model = ctx.model(dataset, arch)
+                wp = ctx.word_paraphraser(dataset)
+                docs = ctx.dataset(dataset).documents("test")
+                labels = ctx.dataset(dataset).labels("test")
+                preds = model.predict(docs)
+                examined = 0
+                for i in range(len(docs)):
+                    if examined >= 2:
+                        break
+                    if preds[i] != labels[i]:
+                        continue
+                    ns = wp.neighbor_sets(docs[i])
+                    if len(ns.attackable_positions) < 5:
+                        continue
+                    examined += 1
+                    inner, positions = classifier_attack_set_function(
+                        model,
+                        docs[i],
+                        ns,
+                        1 - int(labels[i]),
+                        max_positions=5,
+                        max_candidates_per_position=1,
+                    )
+                    # the ground set is tiny (2^5 subsets): cache exhaustively
+                    f = CachedSetFunction(inner)
+                    stats = submodularity_violation_stats(f, trials=80, seed=i)
+                    greedy = greedy_maximize(f, 3)
+                    n = f.ground_set_size
+                    opt = max(
+                        f.evaluate(c)
+                        for r in range(4)
+                        for c in itertools.combinations(range(n), r)
+                    )
+                    base = f.evaluate(())
+                    ratio = (greedy.value - base) / max(opt - base, 1e-12)
+                    rows.append((dataset, arch, i, stats, ratio))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n=== Extension: empirical submodularity of trained classifiers ===")
+    for dataset, arch, i, stats, ratio in rows:
+        print(
+            f"  {dataset:8s} {arch:5s} doc={i:3d}: violation rate={stats.violation_rate:6.1%} "
+            f"relative gap={stats.relative_gap:6.3f} greedy/OPT={ratio:.3f}"
+        )
+    assert rows
+    ratios = [r for *_, r in rows]
+    one_minus_inv_e = 1 - 1 / np.e
+    # greedy achieves (well above) the submodular guarantee in practice
+    assert np.mean(ratios) >= one_minus_inv_e
+    # approximate submodularity: diminishing returns holds on a clear
+    # majority-to-large fraction of triples (exact submodularity does fail
+    # on real networks, LSTM especially — that is the finding)
+    rates = [s.violation_rate for *_, s, _ in rows]
+    assert np.mean(rates) <= 0.8

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate paper Figure 1 (adversarial example gallery)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import examples_gallery
+
+
+def test_figure1_adversarial_gallery(ctx, benchmark):
+    entries = run_once(benchmark, lambda: examples_gallery.run(ctx, per_dataset=2))
+    print("\n=== Figure 1: generated adversarial examples ===")
+    for entry in entries:
+        print(examples_gallery.render_entry(entry))
+        print()
+    assert entries, "expected at least one successful attack to display"
+    for entry in entries:
+        r = entry.result
+        assert r.success
+        assert r.adversarial != r.original

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate paper Figure 4 (success rate vs λ_s per λ_w, LSTM).
+
+Shape assertions: success rate rises with the sentence-paraphrase ratio at
+every word budget, and sentence paraphrasing gives its largest boost at
+small word budgets (the paper's headline observation).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure4
+
+
+def test_figure4_sentence_word_sweep(ctx, benchmark):
+    points = run_once(benchmark, lambda: figure4.run(ctx, max_examples=12))
+    print("\n=== Figure 4: success rate vs lam_s (LSTM) ===")
+    print(figure4.render(points))
+
+    for dataset in ("news", "trec07p", "yelp"):
+        curves = figure4.series(points, dataset)
+        # each λ_w curve is non-decreasing in λ_s (up to small-sample noise)
+        for lw, curve in curves.items():
+            srs = [sr for _, sr in curve]
+            assert srs[-1] >= srs[0] - 0.15, (dataset, lw, curve)
+
+    # aggregated across datasets: λ_s = 60% strictly helps at λ_w ≤ 10%
+    def mean_sr(ls, lw):
+        vals = [p.success_rate for p in points if p.sentence_budget == ls and p.word_budget == lw]
+        return float(np.mean(vals))
+
+    assert mean_sr(0.6, 0.0) > mean_sr(0.0, 0.0)
+    assert mean_sr(0.6, 0.1) > mean_sr(0.0, 0.1)

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate paper Table 3 (optimization-method comparison).
+
+Shape assertions (aggregated over datasets):
+- the gradient method [18] issues by far the fewest model queries but has
+  the lowest success rate at λ_w = 20%;
+- gradient-guided greedy (Alg. 3) is competitive with objective-guided
+  greedy [19] on success rate;
+- success rates increase with the word budget.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3
+
+
+def test_table3_optimization_methods(ctx, benchmark):
+    rows = run_once(benchmark, lambda: table3.run(ctx, max_examples=40))
+    print("\n=== Table 3: word-level optimization methods (WCNN) ===")
+    print(table3.render(rows))
+
+    def mean_sr(method, budget):
+        vals = [r.success_rate for r in rows if r.method == method and r.word_budget == budget]
+        return float(np.mean(vals))
+
+    def mean_queries(method, budget):
+        vals = [r.mean_queries for r in rows if r.method == method and r.word_budget == budget]
+        return float(np.mean(vals))
+
+    # gradient method: cheapest, weakest (paper Sec. 6.4)
+    assert mean_queries("gradient", 0.2) < mean_queries("objective-greedy", 0.2)
+    assert mean_queries("gradient", 0.2) < mean_queries("gradient-guided", 0.2)
+    assert mean_sr("gradient", 0.2) <= mean_sr("objective-greedy", 0.2)
+    assert mean_sr("gradient", 0.2) <= mean_sr("gradient-guided", 0.2) + 0.02
+
+    # Alg. 3 is competitive with objective-guided greedy
+    assert mean_sr("gradient-guided", 0.2) >= mean_sr("objective-greedy", 0.2) - 0.1
+
+    # larger budgets help every method
+    for method in table3.METHODS:
+        assert mean_sr(method, 0.2) >= mean_sr(method, 0.05) - 0.02

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate paper Table 4 (simulated human evaluation).
+
+Shape assertions: the simulated annotators label adversarial texts about
+as accurately as originals, and rate their naturalness similarly — the
+paper's conclusion that WMD/LM-filtered paraphrasing preserves semantics
+and fluency.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4
+
+
+def test_table4_human_evaluation(ctx, benchmark):
+    rows = run_once(benchmark, lambda: table4.run(ctx, n_texts=30))
+    print("\n=== Table 4: simulated human evaluation ===")
+    print(table4.render(rows))
+    for r in rows:
+        # Task I: labels stay recoverable from the adversarial text
+        assert r.adversarial.label_accuracy >= r.original.label_accuracy - 0.25, r
+        # Task II: naturalness within half a point of the original
+        assert abs(r.adversarial.naturalness_mean - r.original.naturalness_mean) <= 0.5, r

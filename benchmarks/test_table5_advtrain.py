@@ -1,0 +1,23 @@
+"""Benchmark: regenerate paper Table 5 (adversarial training).
+
+Shape assertions: after merging 20% adversarial examples into training,
+adversarial accuracy improves on average and clean test accuracy is not
+hurt — the paper's Sec. 6.6 finding.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5
+
+
+def test_table5_adversarial_training(ctx, benchmark):
+    rows = run_once(
+        benchmark, lambda: table5.run(ctx, models=("wcnn",), max_eval_examples=40)
+    )
+    print("\n=== Table 5: adversarial training (WCNN) ===")
+    print(table5.render(rows))
+    adv_gain = np.mean([r.result.adv_after - r.result.adv_before for r in rows])
+    test_change = np.mean([r.result.test_after - r.result.test_before for r in rows])
+    assert adv_gain >= 0.0, f"adversarial training should help on average, got {adv_gain}"
+    assert test_change >= -0.05, f"clean accuracy should not collapse, got {test_change}"

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate paper Table 6 (dataset statistics)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table6
+
+
+def test_table6_dataset_statistics(ctx, benchmark):
+    rows = run_once(benchmark, lambda: table6.run(ctx))
+    print("\n=== Table 6: dataset statistics ===")
+    print(table6.render(rows))
+    assert len(rows) == 3
+    for r in rows:
+        # balanced binary corpora, in the generator's configured size
+        assert abs(r["positive_fraction"] - 0.5) < 0.05
+        assert r["n_train"] > 0 and r["n_test"] > 0

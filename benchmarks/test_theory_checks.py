@@ -1,0 +1,81 @@
+"""Benchmark: the paper's theory on synthetic instances.
+
+Covers Prop. 1 (SUBSET-SUM reduction), Prop. 2 (modular relaxation solves
+the relaxed problem exactly), Claim 1 + Theorems 1-2 (monotone submodular
+attack set functions and greedy's (1−1/e) certificate).
+"""
+
+import itertools
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.models.theory_models import ScalarRNN, SimplifiedWCNN
+from repro.submodular import (
+    check_monotone_exhaustive,
+    check_submodular_exhaustive,
+    greedy_maximize,
+    make_output_increasing_candidates_rnn,
+    make_output_increasing_candidates_wcnn,
+    rnn_attack_set_function,
+    solve_subset_sum_via_attack,
+    wcnn_attack_set_function,
+)
+
+
+def test_proposition1_subset_sum_reduction(benchmark):
+    instances = [
+        ([3, 5, 7, 11], 15, True),
+        ([3, 5, 7, 11], 4, False),
+        ([2, 4, 8, 16, 32], 42, True),
+        ([2, 4, 8, 16, 32], 33, False),
+    ]
+
+    def run():
+        return [solve_subset_sum_via_attack(nums, t) for nums, t, _ in instances]
+
+    answers = run_once(benchmark, run)
+    print("\n=== Prop. 1: SUBSET-SUM via the attack set function ===")
+    for (nums, t, expected), got in zip(instances, answers):
+        print(f"  numbers={nums} target={t}: solvable={got} (expected {expected})")
+        assert got == expected
+
+
+def test_theorems_submodularity_and_greedy_guarantee(benchmark):
+    def run():
+        report = []
+        for seed in range(4):
+            wcnn = SimplifiedWCNN.random_instance(num_filters=3, dim=3, seed=seed)
+            v = np.random.default_rng(seed).normal(size=(6, 3))
+            cands = make_output_increasing_candidates_wcnn(wcnn, v, k=2, seed=seed)
+            f = wcnn_attack_set_function(wcnn, v, cands)
+            assert check_monotone_exhaustive(f) is None
+            assert check_submodular_exhaustive(f) is None
+            greedy = greedy_maximize(f, 3)
+            opt = max(
+                f.evaluate(c) for r in range(4) for c in itertools.combinations(range(6), r)
+            )
+            base = f.evaluate(())
+            ratio = (greedy.value - base) / max(opt - base, 1e-12)
+            report.append(("wcnn", seed, ratio))
+
+            rnn = ScalarRNN.random_instance(dim=3, seed=seed)
+            cands = make_output_increasing_candidates_rnn(rnn, v, k=2, seed=seed)
+            f = rnn_attack_set_function(rnn, v, cands)
+            assert check_monotone_exhaustive(f) is None
+            assert check_submodular_exhaustive(f) is None
+            greedy = greedy_maximize(f, 3)
+            opt = max(
+                f.evaluate(c) for r in range(4) for c in itertools.combinations(range(6), r)
+            )
+            base = f.evaluate(())
+            ratio = (greedy.value - base) / max(opt - base, 1e-12)
+            report.append(("rnn", seed, ratio))
+        return report
+
+    report = run_once(benchmark, run)
+    print("\n=== Thm 1/2: exhaustive submodularity + greedy/OPT ratios ===")
+    one_minus_inv_e = 1 - 1 / np.e
+    for model, seed, ratio in report:
+        print(f"  {model} seed={seed}: greedy/OPT = {ratio:.4f}")
+        assert ratio >= one_minus_inv_e - 1e-9

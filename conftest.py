@@ -1,0 +1,16 @@
+"""Root pytest configuration.
+
+The attack-test fixtures (trained victim WCNN, paraphrasers, candidate
+documents) are shared by the attacks, eval and defense test packages, so
+they are registered once here; all fixtures are session-scoped and lazy.
+
+Hypothesis runs derandomized so the suite is reproducible run-to-run
+(property tests explore the same example sets every time).
+"""
+
+from hypothesis import settings
+
+settings.register_profile("deterministic", derandomize=True)
+settings.load_profile("deterministic")
+
+pytest_plugins = ["tests.fixtures"]

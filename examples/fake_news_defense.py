@@ -1,0 +1,45 @@
+"""Scenario: harden a fake-news detector with adversarial training.
+
+Reproduces the Table-5 pipeline on the news corpus: measure clean and
+adversarial accuracy, augment 20% of the training set with corrected-label
+adversarial examples (Alg. 1), retrain, and re-measure.
+
+Usage::
+
+    python examples/fake_news_defense.py
+"""
+
+from repro.defense import adversarial_training
+from repro.eval import format_percent, format_table
+from repro.experiments import ExperimentContext
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    dataset = ctx.dataset("news")
+
+    result = adversarial_training(
+        model_factory=lambda: ctx.build_model("news", "wcnn"),
+        attack_factory=lambda m: ctx.make_attack("joint", m, "news"),
+        dataset=dataset,
+        train_config=ctx.train_config(),
+        augment_fraction=0.2,
+        max_eval_examples=40,
+    )
+
+    print(f"augmented the training set with {result.n_augmented} adversarial examples\n")
+    print(
+        format_table(
+            ["metric", "before", "after"],
+            [
+                ["clean test accuracy", format_percent(result.test_before), format_percent(result.test_after)],
+                ["adversarial accuracy", format_percent(result.adv_before), format_percent(result.adv_after)],
+            ],
+        )
+    )
+    print("\nReading: adversarial training raises robustness (ADV accuracy) while")
+    print("keeping — often improving — clean generalization (paper Table 5).")
+
+
+if __name__ == "__main__":
+    main()

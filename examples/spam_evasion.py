@@ -1,0 +1,44 @@
+"""Scenario: spam-filter evasion and the optimization-method trade-off.
+
+Trains the Trec07p-style spam filter and compares the paper's three
+word-level optimization schemes (Table 3's setting): objective-guided
+greedy [19], the pure gradient method [18], and gradient-guided greedy
+(Algorithm 3) — success rate, per-document time and model queries.
+
+Usage::
+
+    python examples/spam_evasion.py
+"""
+
+from repro.eval import evaluate_attack, format_percent, format_seconds, format_table
+from repro.experiments import ExperimentContext
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    model = ctx.model("trec07p", "wcnn")
+    dataset = ctx.dataset("trec07p")
+    print(f"spam filter clean accuracy: "
+          f"{model.accuracy(dataset.documents('test'), dataset.labels('test')):.1%}")
+
+    rows = []
+    for method in ("objective-greedy", "gradient", "gradient-guided"):
+        attack = ctx.make_attack(method, model, "trec07p", word_budget=0.2)
+        ev = evaluate_attack(model, attack, dataset.test, max_examples=40)
+        rows.append(
+            [
+                method,
+                format_percent(ev.success_rate),
+                format_seconds(ev.mean_time),
+                f"{ev.mean_queries:.0f}",
+                f"{ev.mean_word_changes:.1f}",
+            ]
+        )
+    print()
+    print(format_table(["method", "success", "time/doc", "queries/doc", "words changed"], rows))
+    print("\nReading: the gradient method is cheapest but weakest; gradient-guided")
+    print("greedy (Alg. 3) matches objective-guided greedy at far fewer queries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of "Discrete Adversarial Attacks and Submodular
+Optimization with Applications to Text Classification" (Lei et al., MLSys 2019).
+
+Subpackages
+-----------
+``repro.nn``
+    NumPy autograd + neural-network substrate (replaces PyTorch).
+``repro.text``
+    Tokenization, vocabulary, n-gram language model, embeddings, WMD.
+``repro.data``
+    Synthetic corpora (news / spam / sentiment) and dataset containers.
+``repro.models``
+    WCNN and LSTM classifiers plus the simplified theoretical variants.
+``repro.submodular``
+    Set-function framework, greedy maximizers, submodularity checks,
+    NP-hardness reduction, modular (gradient) relaxation.
+``repro.attacks``
+    The paper's Algorithms 1-3 plus baseline attacks.
+``repro.defense``
+    Adversarial training (Table 5).
+``repro.eval``
+    Metrics, simulated human evaluation, report formatting.
+``repro.experiments``
+    One driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"

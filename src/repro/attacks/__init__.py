@@ -1,0 +1,52 @@
+"""Adversarial attacks: the paper's Algorithms 1-3 plus baselines.
+
+=====================================  ==========================================
+Class                                  Paper reference
+=====================================  ==========================================
+:class:`JointParaphraseAttack`         Algorithm 1 (headline attack, "ours")
+:class:`GreedySentenceAttack`          Algorithm 2
+:class:`GradientGuidedGreedyAttack`    Algorithm 3
+:class:`ObjectiveGreedyWordAttack`     objective-guided greedy, Kuleshov [19]
+:class:`GradientWordAttack`            gradient method, Gong [18]
+:class:`RandomWordAttack`              random baseline
+=====================================  ==========================================
+"""
+
+from repro.attacks.base import Attack, AttackResult, count_word_changes
+from repro.attacks.beam import BeamSearchWordAttack
+from repro.attacks.charflip import HOMOGLYPHS, CharFlipCandidates
+from repro.attacks.gradient_guided import GradientGuidedGreedyAttack
+from repro.attacks.gradient_word import GradientWordAttack
+from repro.attacks.greedy_word import ObjectiveGreedyWordAttack
+from repro.attacks.joint import JointParaphraseAttack
+from repro.attacks.paraphrase import ParaphraseConfig, SentenceParaphraser, WordParaphraser
+from repro.attacks.random_attack import RandomWordAttack
+from repro.attacks.sentence import GreedySentenceAttack
+from repro.attacks.transformations import (
+    SentenceNeighborSets,
+    WordNeighborSets,
+    apply_word_substitutions,
+    transformation_support,
+)
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "count_word_changes",
+    "CharFlipCandidates",
+    "HOMOGLYPHS",
+    "ParaphraseConfig",
+    "WordParaphraser",
+    "SentenceParaphraser",
+    "WordNeighborSets",
+    "SentenceNeighborSets",
+    "apply_word_substitutions",
+    "transformation_support",
+    "JointParaphraseAttack",
+    "GreedySentenceAttack",
+    "GradientGuidedGreedyAttack",
+    "ObjectiveGreedyWordAttack",
+    "GradientWordAttack",
+    "RandomWordAttack",
+    "BeamSearchWordAttack",
+]

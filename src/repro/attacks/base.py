@@ -1,0 +1,114 @@
+"""Attack interface and result records.
+
+All attacks are *targeted* (paper Sec. 3): given a document and a target
+label ``y``, they search for a transformation maximizing ``C_y(V(T_l(x)))``
+subject to the paraphrasing budgets.  For binary classification the usual
+usage is ``target = 1 − predicted``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.models.base import TextClassifier
+
+__all__ = ["AttackResult", "Attack", "count_word_changes"]
+
+
+def count_word_changes(original: Sequence[str], adversarial: Sequence[str]) -> int:
+    """Number of positions where the two token lists differ.
+
+    Length changes (from sentence paraphrasing) are counted as the length
+    difference plus positional mismatches over the common prefix length.
+    """
+    common = min(len(original), len(adversarial))
+    diff = sum(1 for a, b in zip(original[:common], adversarial[:common]) if a != b)
+    return diff + abs(len(original) - len(adversarial))
+
+
+@dataclass
+class AttackResult:
+    """Outcome of attacking one document."""
+
+    original: list[str]
+    adversarial: list[str]
+    target_label: int
+    original_prob: float  # C_y before the attack
+    adversarial_prob: float  # C_y after the attack
+    success: bool  # adversarial prediction == target label
+    n_word_changes: int = 0
+    n_sentence_changes: int = 0
+    n_queries: int = 0  # documents scored by the model
+    wall_time: float = 0.0
+    stages: list[str] = field(default_factory=list)  # e.g. ["sentence", "word"]
+
+    @property
+    def prob_gain(self) -> float:
+        return self.adversarial_prob - self.original_prob
+
+
+class Attack:
+    """Base class: owns the victim model and counts its queries."""
+
+    name = "attack"
+
+    def __init__(self, model: TextClassifier) -> None:
+        self.model = model
+        self._queries = 0
+
+    # -- model access with query accounting --------------------------------
+    def _score_batch(self, docs: list[list[str]], target_label: int) -> list[float]:
+        """``C_y`` for a batch of candidate documents."""
+        if not docs:
+            return []
+        self._queries += len(docs)
+        probs = self.model.predict_proba(docs)
+        return probs[:, target_label].tolist()
+
+    def _score(self, doc: Sequence[str], target_label: int) -> float:
+        return self._score_batch([list(doc)], target_label)[0]
+
+    # -- template method -------------------------------------------------------
+    def attack(self, doc: Sequence[str], target_label: int) -> AttackResult:
+        """Run the attack; concrete classes implement :meth:`_run`."""
+        if target_label not in (0, 1):
+            raise ValueError(f"target label must be 0 or 1, got {target_label}")
+        doc = list(doc)
+        if not doc:
+            raise ValueError("cannot attack an empty document")
+        self._queries = 0
+        start = time.perf_counter()
+        original_prob = self._score(doc, target_label)
+        adversarial, stages = self._run(doc, target_label)
+        # Success is judged with deterministic inference: if the victim uses
+        # Bayesian (inference-time) dropout during the *search* — the paper's
+        # WCNN setting (Sec. 6.4) — the verdict must not depend on one noisy
+        # sample.
+        inference_dropout = getattr(self.model, "inference_dropout", 0.0)
+        if inference_dropout:
+            self.model.inference_dropout = 0.0
+        try:
+            adv_probs = self.model.predict_proba([adversarial])[0]
+        finally:
+            if inference_dropout:
+                self.model.inference_dropout = inference_dropout
+        elapsed = time.perf_counter() - start
+        return AttackResult(
+            original=doc,
+            adversarial=adversarial,
+            target_label=target_label,
+            original_prob=original_prob,
+            adversarial_prob=float(adv_probs[target_label]),
+            success=bool(adv_probs.argmax() == target_label),
+            n_word_changes=count_word_changes(doc, adversarial),
+            n_sentence_changes=stages.count("sentence"),
+            n_queries=self._queries,
+            wall_time=elapsed,
+            stages=sorted(set(stages)),
+        )
+
+    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
+        """Return (adversarial tokens, stage tags). Implemented by subclasses."""
+        raise NotImplementedError

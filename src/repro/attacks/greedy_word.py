@@ -1,0 +1,71 @@
+"""Objective-guided greedy word attack — the Kuleshov et al. [19] baseline.
+
+One word per iteration: scan every (position, candidate) pair, apply the
+single substitution that most increases ``C_y``, repeat until the
+termination threshold τ is reached or the word budget ``λ_w · n`` is
+exhausted.  This is exactly greedy maximization of the attack set function
+with the inner maximum restricted to extending the incumbent transformation
+(the practical variant the paper compares against in Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.attacks.paraphrase import WordParaphraser
+from repro.attacks.transformations import apply_word_substitutions
+from repro.models.base import TextClassifier
+
+__all__ = ["ObjectiveGreedyWordAttack"]
+
+
+class ObjectiveGreedyWordAttack(Attack):
+    """Greedy-by-objective word substitution (one word per iteration)."""
+
+    name = "objective-greedy"
+
+    def __init__(
+        self,
+        model: TextClassifier,
+        paraphraser: WordParaphraser,
+        word_budget_ratio: float = 0.2,
+        tau: float = 0.7,
+    ) -> None:
+        super().__init__(model)
+        if not 0.0 <= word_budget_ratio <= 1.0:
+            raise ValueError("word_budget_ratio must be in [0, 1]")
+        if not 0.0 < tau <= 1.0:
+            raise ValueError("tau must be in (0, 1]")
+        self.paraphraser = paraphraser
+        self.word_budget_ratio = word_budget_ratio
+        self.tau = tau
+
+    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
+        neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        budget = int(self.word_budget_ratio * len(doc))
+        current = list(doc)
+        current_score = self._score(current, target_label)
+        changed: set[int] = set()
+        stages: list[str] = []
+        while current_score < self.tau and len(changed) < budget:
+            candidates: list[list[str]] = []
+            meta: list[int] = []
+            # one paraphrase per position: changed positions are consumed
+            for j in neighbor_sets.attackable_positions:
+                if j in changed:
+                    continue
+                for word in neighbor_sets[j]:
+                    if current[j] == word:
+                        continue
+                    candidates.append(apply_word_substitutions(current, {j: word}))
+                    meta.append(j)
+            if not candidates:
+                break
+            scores = self._score_batch(candidates, target_label)
+            best = max(range(len(scores)), key=scores.__getitem__)
+            if scores[best] <= current_score + 1e-12:
+                break
+            current = candidates[best]
+            current_score = scores[best]
+            changed.add(meta[best])
+            stages.append("word")
+        return current, stages

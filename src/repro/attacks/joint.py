@@ -1,0 +1,69 @@
+"""Joint Sentence and Word Paraphrasing — the paper's Algorithm 1.
+
+Stage 1 (steps 2-5): split into sentences, build the sentence neighbor sets
+``S`` (WMD-filtered), and run Greedy Sentence Paraphrasing (Alg. 2).  If τ
+is reached, stop.
+
+Stage 2 (steps 6-9): re-tokenize into words, build the word neighbor sets
+``W`` (WMD- and LM-filtered), and run Gradient-Guided Greedy Word
+Paraphrasing (Alg. 3) on the sentence-paraphrased document.
+
+This is the headline attack used for Table 2, Figure 4, Table 4 and the
+adversarial training of Table 5.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.attacks.gradient_guided import GradientGuidedGreedyAttack
+from repro.attacks.paraphrase import SentenceParaphraser, WordParaphraser
+from repro.attacks.sentence import GreedySentenceAttack
+from repro.models.base import TextClassifier
+
+__all__ = ["JointParaphraseAttack"]
+
+
+class JointParaphraseAttack(Attack):
+    """Algorithm 1: sentence stage then word stage."""
+
+    name = "joint-paraphrase"
+
+    def __init__(
+        self,
+        model: TextClassifier,
+        word_paraphraser: WordParaphraser,
+        sentence_paraphraser: SentenceParaphraser,
+        word_budget_ratio: float = 0.2,
+        sentence_budget_ratio: float = 0.2,
+        tau: float = 0.7,
+        words_per_iteration: int = 5,
+    ) -> None:
+        super().__init__(model)
+        self.sentence_stage = GreedySentenceAttack(
+            model,
+            sentence_paraphraser,
+            sentence_budget_ratio=sentence_budget_ratio,
+            tau=tau,
+        )
+        self.word_stage = GradientGuidedGreedyAttack(
+            model,
+            word_paraphraser,
+            word_budget_ratio=word_budget_ratio,
+            tau=tau,
+            words_per_iteration=words_per_iteration,
+        )
+        self.tau = tau
+
+    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
+        # Stage 1: sentence paraphrasing (Alg. 2)
+        self.sentence_stage._queries = 0
+        after_sentences, sentence_stages = self.sentence_stage._run(doc, target_label)
+        self._queries += self.sentence_stage._queries
+        score = self._score(after_sentences, target_label)
+        if score >= self.tau:
+            return after_sentences, sentence_stages
+        # Stage 2: word paraphrasing (Alg. 3) on the sentence-level output
+        self.word_stage._queries = 0
+        adversarial, word_stages = self.word_stage._run(after_sentences, target_label)
+        self._queries += self.word_stage._queries
+        return adversarial, sentence_stages + word_stages

@@ -1,0 +1,51 @@
+"""Random-substitution baseline.
+
+Replaces up to ``λ_w · n`` random attackable positions with random
+candidates.  The weakest sensible baseline; its gap to greedy quantifies
+how much the guided search matters (ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.attacks.paraphrase import WordParaphraser
+from repro.attacks.transformations import apply_word_substitutions
+from repro.models.base import TextClassifier
+
+__all__ = ["RandomWordAttack"]
+
+
+class RandomWordAttack(Attack):
+    """Uniformly random word substitutions within the budget."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        model: TextClassifier,
+        paraphraser: WordParaphraser,
+        word_budget_ratio: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(model)
+        if not 0.0 <= word_budget_ratio <= 1.0:
+            raise ValueError("word_budget_ratio must be in [0, 1]")
+        self.paraphraser = paraphraser
+        self.word_budget_ratio = word_budget_ratio
+        self.seed = seed
+
+    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
+        neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        budget = int(self.word_budget_ratio * len(doc))
+        rng = np.random.default_rng(self.seed)
+        positions = neighbor_sets.attackable_positions
+        if not positions or budget == 0:
+            return list(doc), []
+        chosen = rng.choice(positions, size=min(budget, len(positions)), replace=False)
+        substitutions = {
+            int(i): str(rng.choice(neighbor_sets[int(i)])) for i in chosen
+        }
+        stages = ["word"] * len(substitutions)
+        return apply_word_substitutions(doc, substitutions), stages

@@ -1,0 +1,73 @@
+"""Greedy Sentence Paraphrasing — the paper's Algorithm 2.
+
+Objective-guided greedy over whole-sentence substitutions: each iteration
+scans every (sentence, paraphrase) pair, applies the replacement that most
+increases ``C_y``, and repeats until τ is reached or at most ``λ_s · l``
+sentences have been paraphrased.  The paper deliberately does *not* use
+gradients here: sentence paraphrases change token counts, so gradients
+computed before the substitution no longer align with positions (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.attacks.paraphrase import SentenceParaphraser
+from repro.models.base import TextClassifier
+from repro.text.sentence import join_sentences
+
+__all__ = ["GreedySentenceAttack"]
+
+
+class GreedySentenceAttack(Attack):
+    """Algorithm 2: objective-guided greedy sentence paraphrasing."""
+
+    name = "greedy-sentence"
+
+    def __init__(
+        self,
+        model: TextClassifier,
+        paraphraser: SentenceParaphraser,
+        sentence_budget_ratio: float = 0.2,
+        tau: float = 0.7,
+    ) -> None:
+        super().__init__(model)
+        if not 0.0 <= sentence_budget_ratio <= 1.0:
+            raise ValueError("sentence_budget_ratio must be in [0, 1]")
+        if not 0.0 < tau <= 1.0:
+            raise ValueError("tau must be in (0, 1]")
+        self.paraphraser = paraphraser
+        self.sentence_budget_ratio = sentence_budget_ratio
+        self.tau = tau
+
+    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
+        sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        budget = int(round(self.sentence_budget_ratio * len(sentences)))
+        current = [list(s) for s in sentences]
+        current_score = self._score(join_sentences(current), target_label)
+        paraphrased: set[int] = set()
+        stages: list[str] = []
+        while current_score < self.tau and len(paraphrased) < budget:
+            candidates: list[list[str]] = []
+            meta: list[tuple[int, list[str]]] = []
+            for j in neighbor_sets.attackable_sentences:
+                for cand_sentence in neighbor_sets[j]:
+                    if cand_sentence == current[j]:
+                        continue
+                    variant = current[:j] + [list(cand_sentence)] + current[j + 1 :]
+                    candidates.append(join_sentences(variant))
+                    meta.append((j, list(cand_sentence)))
+            if not candidates:
+                break
+            scores = self._score_batch(candidates, target_label)
+            best = max(range(len(scores)), key=scores.__getitem__)
+            if scores[best] <= current_score + 1e-12:
+                break
+            j, new_sentence = meta[best]
+            current[j] = new_sentence
+            current_score = scores[best]
+            if new_sentence == sentences[j]:
+                paraphrased.discard(j)
+            else:
+                paraphrased.add(j)
+            stages.append("sentence")
+        return join_sentences(current), stages

@@ -1,0 +1,43 @@
+"""Synthetic corpora and dataset containers (substitute for the paper's
+News / Trec07p / Yelp datasets — see DESIGN.md for the substitution note)."""
+
+from repro.data.datasets import Example, TextDataset
+from repro.data.generators import (
+    CorpusConfig,
+    SyntheticCorpusGenerator,
+    make_all_corpora,
+    make_news_corpus,
+    make_sentiment_corpus,
+    make_spam_corpus,
+)
+from repro.data.lexicon import (
+    DomainLexicon,
+    SynonymCluster,
+    news_lexicon,
+    sentiment_lexicon,
+    spam_lexicon,
+)
+from repro.data.loaders import load_csv_dataset, load_jsonl_dataset, split_examples
+from repro.data.urls import UrlCharCandidates, UrlCorpusConfig, make_url_corpus
+
+__all__ = [
+    "Example",
+    "TextDataset",
+    "CorpusConfig",
+    "SyntheticCorpusGenerator",
+    "make_news_corpus",
+    "make_sentiment_corpus",
+    "make_spam_corpus",
+    "make_all_corpora",
+    "DomainLexicon",
+    "SynonymCluster",
+    "sentiment_lexicon",
+    "news_lexicon",
+    "spam_lexicon",
+    "load_csv_dataset",
+    "load_jsonl_dataset",
+    "split_examples",
+    "make_url_corpus",
+    "UrlCorpusConfig",
+    "UrlCharCandidates",
+]

@@ -1,0 +1,92 @@
+"""Dataset containers for tokenized, labeled text corpora."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Example", "TextDataset"]
+
+
+@dataclass(frozen=True)
+class Example:
+    """One labeled, tokenized document."""
+
+    tokens: tuple[str, ...]
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise ValueError(f"binary label expected, got {self.label}")
+
+
+class TextDataset:
+    """A binary text-classification corpus with train/test splits.
+
+    Mirrors the role of the paper's News / Trec07p / Yelp datasets
+    (Table 6): a named task, two class names, and token-level documents.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        class_names: tuple[str, str],
+        train: Sequence[Example],
+        test: Sequence[Example],
+    ) -> None:
+        if len(class_names) != 2:
+            raise ValueError("binary classification requires exactly two class names")
+        self.name = name
+        self.class_names = class_names
+        self.train = list(train)
+        self.test = list(test)
+
+    # -- access ---------------------------------------------------------
+    def split(self, which: str) -> list[Example]:
+        if which == "train":
+            return self.train
+        if which == "test":
+            return self.test
+        raise KeyError(f"unknown split {which!r} (use 'train' or 'test')")
+
+    def documents(self, which: str = "train") -> list[list[str]]:
+        return [list(ex.tokens) for ex in self.split(which)]
+
+    def labels(self, which: str = "train") -> np.ndarray:
+        return np.array([ex.label for ex in self.split(which)], dtype=np.int64)
+
+    def subsample(self, which: str, n: int, seed: int = 0) -> list[Example]:
+        """A reproducible random subset of a split (without replacement)."""
+        examples = self.split(which)
+        if n >= len(examples):
+            return list(examples)
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(examples), size=n, replace=False)
+        return [examples[i] for i in idx]
+
+    def with_extra_train(self, extra: Iterable[Example]) -> "TextDataset":
+        """A copy whose training split is augmented (adversarial training)."""
+        return TextDataset(self.name, self.class_names, self.train + list(extra), self.test)
+
+    # -- statistics (Table 6) --------------------------------------------
+    def statistics(self) -> dict[str, float | int | str]:
+        lengths = [len(ex.tokens) for ex in self.train + self.test]
+        all_words = {t for ex in self.train + self.test for t in ex.tokens}
+        train_labels = self.labels("train")
+        return {
+            "task": self.name,
+            "n_train": len(self.train),
+            "n_test": len(self.test),
+            "vocab_size": len(all_words),
+            "avg_length": float(np.mean(lengths)) if lengths else 0.0,
+            "max_length": int(max(lengths)) if lengths else 0,
+            "positive_fraction": float(train_labels.mean()) if len(train_labels) else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TextDataset(name={self.name!r}, train={len(self.train)}, "
+            f"test={len(self.test)}, classes={self.class_names})"
+        )

@@ -1,0 +1,194 @@
+"""Synthetic corpus generators for the three text-classification tasks.
+
+The paper evaluates on Fake/Real News, Trec07p spam and Yelp sentiment.
+Offline we synthesize corpora with the same *structure*: binary labels
+carried by class-discriminative vocabulary embedded in templated sentences,
+plus neutral filler.  Scale is reduced (hundreds of documents instead of
+hundreds of thousands) but the statistics that matter for the attack
+dynamics are preserved:
+
+- clean accuracy of WCNN/LSTM classifiers lands in the paper's 93–99% band;
+- each document contains a handful of signal words, so a λ_w = 20% word
+  budget is meaningful;
+- signal words live in synonym clusters whose canonical member dominates
+  the training distribution, so paraphrase candidates are under-trained —
+  the property synonym-substitution attacks exploit on real models.
+
+Each sentence template is a list of tokens where ``<sig>`` slots take a
+class-signal word, ``<n1>/<n2>/<n3>`` take neutral-cluster words, and
+everything else is literal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import Example, TextDataset
+from repro.data.lexicon import (
+    NEG,
+    POS,
+    DomainLexicon,
+    SynonymCluster,
+    news_lexicon,
+    sentiment_lexicon,
+    spam_lexicon,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "SyntheticCorpusGenerator",
+    "make_sentiment_corpus",
+    "make_news_corpus",
+    "make_spam_corpus",
+    "make_all_corpora",
+]
+
+# Templates shared across domains; domain flavor comes from the lexicon.
+_TEMPLATES_SIGNAL = [
+    ["the", "<n1>", "was", "<sig>", "."],
+    ["<sig>", "<n1>", "and", "a", "<sig>", "<n2>", "."],
+    ["i", "thought", "the", "<n1>", "was", "really", "<sig>", "."],
+    ["it", "was", "a", "<sig>", "<n1>", "with", "<sig>", "<n2>", "."],
+    ["the", "<n1>", "seemed", "<sig>", "and", "the", "<n2>", "was", "<sig>", "."],
+    ["<sig>", ",", "simply", "<sig>", "."],
+    ["we", "found", "the", "<n1>", "quite", "<sig>", "."],
+]
+
+_TEMPLATES_NEUTRAL = [
+    ["the", "<n1>", "and", "the", "<n2>", "."],
+    ["we", "saw", "the", "<n1>", "at", "the", "<n2>", "."],
+    ["this", "is", "about", "the", "<n1>", "."],
+    ["it", "was", "a", "<n1>", "in", "the", "<n2>", "."],
+    ["they", "had", "a", "<n1>", "for", "the", "<n2>", "."],
+]
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs for synthetic corpus generation."""
+
+    n_train: int = 400
+    n_test: int = 120
+    min_sentences: int = 4
+    max_sentences: int = 8
+    signal_density: float = 0.7  # probability a sentence carries class signal
+    contrarian_rate: float = 0.04  # probability a signal slot flips polarity
+    canonical_prob: float = 0.75  # frequency bias toward the canonical synonym
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_sentences < 1 or self.max_sentences < self.min_sentences:
+            raise ValueError("sentence bounds must satisfy 1 <= min <= max")
+        for p in (self.signal_density, self.contrarian_rate, self.canonical_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must lie in [0, 1]")
+
+
+class SyntheticCorpusGenerator:
+    """Samples labeled documents from a :class:`DomainLexicon`."""
+
+    def __init__(self, lexicon: DomainLexicon, config: CorpusConfig | None = None) -> None:
+        self.lexicon = lexicon
+        self.config = config or CorpusConfig()
+        self._pos = lexicon.clusters_by_polarity(POS)
+        self._neg = lexicon.clusters_by_polarity(NEG)
+        self._neutral = lexicon.clusters_by_polarity("neutral")
+        if not self._pos or not self._neg or len(self._neutral) < 3:
+            raise ValueError(
+                "lexicon needs positive, negative and >= 3 neutral clusters"
+            )
+
+    # -- sampling helpers --------------------------------------------------
+    def _pick_word(self, cluster: SynonymCluster, rng: np.random.Generator) -> str:
+        """Sample a cluster member with the canonical-frequency bias."""
+        if len(cluster.words) == 1 or rng.random() < self.config.canonical_prob:
+            return cluster.canonical
+        return str(rng.choice(cluster.words[1:]))
+
+    def _signal_word(self, label: int, rng: np.random.Generator) -> str:
+        flip = rng.random() < self.config.contrarian_rate
+        effective = label if not flip else 1 - label
+        pool = self._pos if effective == 1 else self._neg
+        cluster = pool[rng.integers(len(pool))]
+        return self._pick_word(cluster, rng)
+
+    def _neutral_word(self, rng: np.random.Generator, exclude: set[str]) -> str:
+        for _ in range(10):
+            cluster = self._neutral[rng.integers(len(self._neutral))]
+            word = self._pick_word(cluster, rng)
+            if word not in exclude:
+                return word
+        return word  # give up on uniqueness after 10 tries
+
+    def _fill_template(
+        self, template: list[str], label: int, rng: np.random.Generator
+    ) -> list[str]:
+        used: set[str] = set()
+        out: list[str] = []
+        for tok in template:
+            if tok == "<sig>":
+                out.append(self._signal_word(label, rng))
+            elif tok.startswith("<n"):
+                word = self._neutral_word(rng, used)
+                used.add(word)
+                out.append(word)
+            else:
+                out.append(tok)
+        return out
+
+    def sample_document(self, label: int, rng: np.random.Generator) -> Example:
+        """Sample one labeled document as an :class:`Example`."""
+        cfg = self.config
+        n_sentences = int(rng.integers(cfg.min_sentences, cfg.max_sentences + 1))
+        tokens: list[str] = []
+        n_signal = 0
+        for _ in range(n_sentences):
+            if rng.random() < cfg.signal_density:
+                template = _TEMPLATES_SIGNAL[rng.integers(len(_TEMPLATES_SIGNAL))]
+                n_signal += 1
+            else:
+                template = _TEMPLATES_NEUTRAL[rng.integers(len(_TEMPLATES_NEUTRAL))]
+            tokens.extend(self._fill_template(template, label, rng))
+        if n_signal == 0:  # guarantee the label is expressed at least once
+            template = _TEMPLATES_SIGNAL[rng.integers(len(_TEMPLATES_SIGNAL))]
+            tokens.extend(self._fill_template(template, label, rng))
+        return Example(tuple(tokens), label)
+
+    def generate(self, name: str, class_names: tuple[str, str]) -> TextDataset:
+        """Generate a full train/test dataset (balanced labels)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        train = [
+            self.sample_document(label=i % 2, rng=rng) for i in range(cfg.n_train)
+        ]
+        test = [self.sample_document(label=i % 2, rng=rng) for i in range(cfg.n_test)]
+        return TextDataset(name, class_names, train, test)
+
+
+def make_sentiment_corpus(config: CorpusConfig | None = None) -> TextDataset:
+    """Yelp-style sentiment corpus (0 = negative, 1 = positive)."""
+    gen = SyntheticCorpusGenerator(sentiment_lexicon(), config or CorpusConfig(seed=101))
+    return gen.generate("yelp", ("negative", "positive"))
+
+
+def make_news_corpus(config: CorpusConfig | None = None) -> TextDataset:
+    """Fake-news corpus (0 = real, 1 = fake)."""
+    gen = SyntheticCorpusGenerator(news_lexicon(), config or CorpusConfig(seed=202))
+    return gen.generate("news", ("real", "fake"))
+
+
+def make_spam_corpus(config: CorpusConfig | None = None) -> TextDataset:
+    """Trec07p-style spam corpus (0 = ham, 1 = spam)."""
+    gen = SyntheticCorpusGenerator(spam_lexicon(), config or CorpusConfig(seed=303))
+    return gen.generate("trec07p", ("ham", "spam"))
+
+
+def make_all_corpora(config: CorpusConfig | None = None) -> dict[str, TextDataset]:
+    """All three task corpora keyed by dataset name (paper Table 6 rows)."""
+    return {
+        "news": make_news_corpus(config),
+        "trec07p": make_spam_corpus(config),
+        "yelp": make_sentiment_corpus(config),
+    }

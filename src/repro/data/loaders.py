@@ -1,0 +1,105 @@
+"""Loading real corpora from disk.
+
+The synthetic generators make the repository self-contained, but the
+library is meant to attack classifiers on *your* data too.  These loaders
+read labeled text from the two common interchange formats (CSV and JSONL)
+into :class:`~repro.data.datasets.TextDataset`, tokenizing with the same
+pipeline the rest of the library uses.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+import numpy as np
+
+from repro.data.datasets import Example, TextDataset
+from repro.text.tokenizer import tokenize
+
+__all__ = ["load_csv_dataset", "load_jsonl_dataset", "split_examples"]
+
+
+def split_examples(
+    examples: list[Example], test_fraction: float = 0.2, seed: int = 0
+) -> tuple[list[Example], list[Example]]:
+    """Shuffle and split into (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(examples))
+    n_test = max(1, int(len(examples) * test_fraction))
+    test = [examples[i] for i in order[:n_test]]
+    train = [examples[i] for i in order[n_test:]]
+    return train, test
+
+
+def _coerce_label(raw: str | int, class_names: tuple[str, str]) -> int:
+    if isinstance(raw, int) or (isinstance(raw, str) and raw.strip() in ("0", "1")):
+        return int(raw)
+    name = str(raw).strip().lower()
+    lowered = tuple(c.lower() for c in class_names)
+    if name in lowered:
+        return lowered.index(name)
+    raise ValueError(f"label {raw!r} is neither 0/1 nor one of {class_names}")
+
+
+def load_csv_dataset(
+    path: str | os.PathLike,
+    name: str,
+    class_names: tuple[str, str],
+    text_column: str = "text",
+    label_column: str = "label",
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> TextDataset:
+    """Load a labeled CSV into a tokenized, split :class:`TextDataset`.
+
+    Labels may be 0/1 integers or the class names themselves.
+    """
+    examples: list[Example] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or text_column not in reader.fieldnames:
+            raise ValueError(f"CSV is missing the {text_column!r} column")
+        if label_column not in reader.fieldnames:
+            raise ValueError(f"CSV is missing the {label_column!r} column")
+        for row in reader:
+            tokens = tokenize(row[text_column])
+            if not tokens:
+                continue
+            examples.append(Example(tuple(tokens), _coerce_label(row[label_column], class_names)))
+    if not examples:
+        raise ValueError(f"no usable rows in {path}")
+    train, test = split_examples(examples, test_fraction, seed)
+    return TextDataset(name, class_names, train, test)
+
+
+def load_jsonl_dataset(
+    path: str | os.PathLike,
+    name: str,
+    class_names: tuple[str, str],
+    text_key: str = "text",
+    label_key: str = "label",
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> TextDataset:
+    """Load a labeled JSON-lines file (one object per line)."""
+    examples: list[Example] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if text_key not in record or label_key not in record:
+                raise ValueError(f"line {line_no} is missing {text_key!r} or {label_key!r}")
+            tokens = tokenize(str(record[text_key]))
+            if not tokens:
+                continue
+            examples.append(Example(tuple(tokens), _coerce_label(record[label_key], class_names)))
+    if not examples:
+        raise ValueError(f"no usable records in {path}")
+    train, test = split_examples(examples, test_fraction, seed)
+    return TextDataset(name, class_names, train, test)

@@ -1,0 +1,7 @@
+"""Defenses: adversarial training (paper Table 5) and randomized synonym
+smoothing (extension)."""
+
+from repro.defense.adversarial_training import AdversarialTrainingResult, adversarial_training
+from repro.defense.smoothing import SmoothedClassifier
+
+__all__ = ["AdversarialTrainingResult", "adversarial_training", "SmoothedClassifier"]

@@ -1,0 +1,93 @@
+"""Persisting experiment results as machine-readable artifacts.
+
+Benchmarks print human-readable tables; for plotting and regression
+tracking, experiment drivers can also be dumped to JSON/CSV under a
+results directory.  Dataclass rows (Table2Row, Figure4Point, ...) are
+serialized field-by-field; plain dicts pass through.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = ["rows_to_records", "write_json", "write_csv", "ResultsWriter"]
+
+
+def rows_to_records(rows: list[Any]) -> list[dict]:
+    """Normalize dataclass/dict rows into plain dicts (nested dataclasses
+    are flattened with dotted keys)."""
+    records = []
+    for row in rows:
+        if dataclasses.is_dataclass(row) and not isinstance(row, type):
+            flat: dict[str, Any] = {}
+            for field in dataclasses.fields(row):
+                value = getattr(row, field.name)
+                if dataclasses.is_dataclass(value) and not isinstance(value, type):
+                    for sub in dataclasses.fields(value):
+                        flat[f"{field.name}.{sub.name}"] = getattr(value, sub.name)
+                else:
+                    flat[field.name] = value
+            records.append(flat)
+        elif isinstance(row, dict):
+            records.append(dict(row))
+        else:
+            raise TypeError(f"cannot serialize row of type {type(row).__name__}")
+    return records
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def write_json(rows: list[Any], path: str | os.PathLike, metadata: dict | None = None) -> None:
+    """Dump rows (plus optional metadata) to a JSON file."""
+    records = rows_to_records(rows)
+    payload = {
+        "metadata": metadata or {},
+        "rows": [{k: _jsonable(v) for k, v in r.items()} for r in records],
+    }
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def write_csv(rows: list[Any], path: str | os.PathLike) -> None:
+    """Dump rows to a CSV file (columns from the first record)."""
+    records = rows_to_records(rows)
+    if not records:
+        raise ValueError("cannot write an empty result set")
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(records[0]))
+        writer.writeheader()
+        for record in records:
+            writer.writerow({k: _jsonable(v) for k, v in record.items()})
+
+
+class ResultsWriter:
+    """Convenience wrapper: one results directory, timestamped metadata."""
+
+    def __init__(self, directory: str | os.PathLike = "results") -> None:
+        self.directory = Path(directory)
+
+    def save(self, name: str, rows: list[Any], **metadata) -> Path:
+        """Write ``<dir>/<name>.json`` and ``<dir>/<name>.csv``; returns the
+        JSON path."""
+        metadata = {
+            "generated_at": datetime.now(timezone.utc).isoformat(),
+            **metadata,
+        }
+        json_path = self.directory / f"{name}.json"
+        write_json(rows, json_path, metadata=metadata)
+        write_csv(rows, self.directory / f"{name}.csv")
+        return json_path

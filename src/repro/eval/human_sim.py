@@ -1,0 +1,185 @@
+"""Simulated human-subject evaluation (paper Table 4).
+
+The paper showed five human evaluators 60 texts (half original, half
+adversarial) and asked them to (I) assign the correct label and (II) rate
+how likely each text was written by a human, on a 1-5 scale.  Offline we
+simulate the annotator pool:
+
+- *Task I* — each annotator labels with a private "comprehension oracle":
+  a bag-of-words classifier whose decision is perturbed by per-annotator
+  noise, with majority vote across the five annotators exactly as in the
+  paper.  Crucially, the annotator *canonicalizes* synonyms before reading
+  (``make_canonicalizer``): a human maps "superb" and "great" to the same
+  meaning, so synonym-substitution attacks that fool token-level models do
+  not fool the annotator.  This is what lets the simulation reproduce the
+  paper's finding that label accuracy survives the attack.
+- *Task II* — naturalness is scored from measurable proxies of what humans
+  react to: language-model fluency (per-token log-probability) and semantic
+  drift from typical text (WMD is already bounded by the attack's filters),
+  mapped affinely onto [1, 5] with per-annotator bias and noise.
+
+Because the attacks are WMD/LM-constrained by construction, the expected
+finding is the paper's: adversarial texts score close to the originals on
+both tasks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.lexicon import DomainLexicon
+from repro.models.bow import BowClassifier
+from repro.text.ngram_lm import NGramLM
+
+__all__ = [
+    "SimulatedAnnotator",
+    "HumanEvalResult",
+    "run_human_evaluation",
+    "default_annotator_pool",
+    "make_canonicalizer",
+]
+
+Canonicalizer = Callable[[list[str]], list[str]]
+
+
+def make_canonicalizer(lexicon: DomainLexicon) -> Canonicalizer:
+    """Map every clustered word to its cluster's canonical form.
+
+    Models the lexical knowledge a human reader has: all members of a
+    synonym set carry the same meaning.
+    """
+
+    def canonicalize(tokens: list[str]) -> list[str]:
+        out = []
+        for t in tokens:
+            cluster = lexicon.cluster_of(t)
+            out.append(cluster.canonical if cluster is not None else t)
+        return out
+
+    return canonicalize
+
+
+@dataclass
+class HumanEvalResult:
+    """One Table-4 cell pair: Task I accuracy and Task II mean ± std."""
+
+    label_accuracy: float
+    naturalness_mean: float
+    naturalness_std: float
+    n_texts: int
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "task1_accuracy": self.label_accuracy,
+            "task2_mean": self.naturalness_mean,
+            "task2_std": self.naturalness_std,
+        }
+
+
+class SimulatedAnnotator:
+    """One synthetic evaluator with private noise and bias."""
+
+    def __init__(
+        self,
+        oracle: BowClassifier,
+        lm: NGramLM,
+        label_noise: float = 0.1,
+        rating_bias: float = 0.0,
+        rating_noise: float = 0.4,
+        canonicalize: Canonicalizer | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= label_noise <= 0.5:
+            raise ValueError("label_noise must be in [0, 0.5]")
+        self.oracle = oracle
+        self.lm = lm
+        self.label_noise = label_noise
+        self.rating_bias = rating_bias
+        self.rating_noise = rating_noise
+        self.canonicalize = canonicalize
+        self.rng = np.random.default_rng(seed)
+
+    def label(self, doc: list[str]) -> int:
+        """Task I: the oracle's label, flipped with probability label_noise.
+
+        The document is canonicalized first when the annotator has lexical
+        knowledge — a human reads meanings, not surface forms.
+        """
+        read = self.canonicalize(list(doc)) if self.canonicalize else list(doc)
+        pred = int(self.oracle.predict([read])[0])
+        if self.rng.random() < self.label_noise:
+            return 1 - pred
+        return pred
+
+    def rate_naturalness(self, doc: list[str]) -> float:
+        """Task II: 1-5 rating from LM fluency plus annotator idiosyncrasy.
+
+        Per-token log-probability is affinely mapped so that typical
+        in-corpus fluency (~ -5 nats/token for our corpora) lands around 3
+        and implausible text (~ -9) near 1.
+        """
+        fluency = self.lm.mean_log_prob(doc)
+        base = 3.0 + (fluency + 5.0) * 0.5
+        noisy = base + self.rating_bias + self.rng.normal(0.0, self.rating_noise)
+        return float(np.clip(noisy, 1.0, 5.0))
+
+
+def _majority(votes: list[int]) -> int:
+    return int(np.round(np.mean(votes)))
+
+
+def run_human_evaluation(
+    docs: list[list[str]],
+    true_labels: np.ndarray,
+    annotators: list[SimulatedAnnotator],
+) -> HumanEvalResult:
+    """Run the Table-4 protocol over one set of texts.
+
+    Task I uses the majority vote over annotators; Task II averages all
+    annotator ratings (the paper averages the five evaluators).
+    """
+    if not docs:
+        raise ValueError("cannot evaluate zero texts")
+    if len(docs) != len(true_labels):
+        raise ValueError("docs and labels must align")
+    if not annotators:
+        raise ValueError("need at least one annotator")
+    correct = 0
+    ratings: list[float] = []
+    for doc, label in zip(docs, true_labels):
+        votes = [a.label(doc) for a in annotators]
+        if _majority(votes) == int(label):
+            correct += 1
+        ratings.extend(a.rate_naturalness(doc) for a in annotators)
+    return HumanEvalResult(
+        label_accuracy=correct / len(docs),
+        naturalness_mean=float(np.mean(ratings)),
+        naturalness_std=float(np.std(ratings)),
+        n_texts=len(docs),
+    )
+
+
+def default_annotator_pool(
+    oracle: BowClassifier,
+    lm: NGramLM,
+    n: int = 5,
+    seed: int = 0,
+    canonicalize: Canonicalizer | None = None,
+) -> list[SimulatedAnnotator]:
+    """Five annotators with mildly heterogeneous noise/bias profiles."""
+    rng = np.random.default_rng(seed)
+    return [
+        SimulatedAnnotator(
+            oracle,
+            lm,
+            label_noise=float(rng.uniform(0.05, 0.15)),
+            rating_bias=float(rng.normal(0.0, 0.25)),
+            rating_noise=float(rng.uniform(0.3, 0.5)),
+            canonicalize=canonicalize,
+            seed=seed + 17 * (i + 1),
+        )
+        for i in range(n)
+    ]

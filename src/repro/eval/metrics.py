@@ -1,0 +1,105 @@
+"""Attack evaluation metrics.
+
+Two views used by the paper:
+
+- *success rate* (Table 3, Fig. 4): fraction of correctly-classified test
+  documents whose prediction the attack flips to the target label;
+- *adversarial accuracy* (Tables 2, 5): the classifier's accuracy on the
+  adversarially perturbed test set (documents it already misclassifies stay
+  unperturbed and remain errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.data.datasets import Example
+from repro.models.base import TextClassifier
+
+__all__ = ["AttackEvaluation", "evaluate_attack"]
+
+
+@dataclass
+class AttackEvaluation:
+    """Aggregate outcome of attacking a set of examples."""
+
+    clean_accuracy: float
+    adversarial_accuracy: float
+    success_rate: float
+    n_examples: int
+    n_attacked: int
+    mean_time: float
+    mean_queries: float
+    mean_word_changes: float
+    results: list[AttackResult] = field(default_factory=list)
+    adversarial_examples: list[Example] = field(default_factory=list)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "clean_accuracy": self.clean_accuracy,
+            "adversarial_accuracy": self.adversarial_accuracy,
+            "success_rate": self.success_rate,
+            "mean_time": self.mean_time,
+            "mean_queries": self.mean_queries,
+            "mean_word_changes": self.mean_word_changes,
+        }
+
+
+def evaluate_attack(
+    model: TextClassifier,
+    attack: Attack,
+    examples: list[Example],
+    max_examples: int | None = None,
+    seed: int = 0,
+) -> AttackEvaluation:
+    """Attack every correctly-classified example and aggregate the outcome.
+
+    The target label is always the flip of the true label (binary,
+    untargeted-as-targeted, the paper's setting).
+    """
+    if not examples:
+        raise ValueError("cannot evaluate an attack on zero examples")
+    if max_examples is not None and len(examples) > max_examples:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(examples), size=max_examples, replace=False)
+        examples = [examples[i] for i in sorted(idx)]
+
+    docs = [list(ex.tokens) for ex in examples]
+    labels = np.array([ex.label for ex in examples])
+    preds = model.predict(docs)
+    correct = preds == labels
+    clean_accuracy = float(correct.mean())
+
+    results: list[AttackResult] = []
+    adv_examples: list[Example] = []
+    still_correct = 0
+    for i, ex in enumerate(examples):
+        if not correct[i]:
+            continue  # already an error; stays an error in adversarial accuracy
+        target = 1 - ex.label
+        result = attack.attack(docs[i], target)
+        results.append(result)
+        adv_examples.append(Example(tuple(result.adversarial), ex.label))
+        if not result.success:
+            still_correct += 1
+
+    n_attacked = len(results)
+    adversarial_accuracy = still_correct / len(examples)
+    success_rate = (
+        float(np.mean([r.success for r in results])) if results else 0.0
+    )
+    return AttackEvaluation(
+        clean_accuracy=clean_accuracy,
+        adversarial_accuracy=float(adversarial_accuracy),
+        success_rate=success_rate,
+        n_examples=len(examples),
+        n_attacked=n_attacked,
+        mean_time=float(np.mean([r.wall_time for r in results])) if results else 0.0,
+        mean_queries=float(np.mean([r.n_queries for r in results])) if results else 0.0,
+        mean_word_changes=float(np.mean([r.n_word_changes for r in results])) if results else 0.0,
+        results=results,
+        adversarial_examples=adv_examples,
+    )

@@ -1,0 +1,109 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them readably in a terminal and as Markdown for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_percent",
+    "format_seconds",
+    "render_word_diff",
+]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.354 → '35.4%'."""
+    return f"{100 * value:.{digits}f}%"
+
+
+def format_seconds(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}s"
+
+
+def render_word_diff(original: Sequence[str], adversarial: Sequence[str]) -> str:
+    """Inline word-level diff, mirroring the paper's Figure-1 markup.
+
+    Equal-length (word-substitution) diffs render replaced positions as
+    ``[old -> new]``; length-changing (sentence-paraphrase) diffs fall
+    back to an aligned longest-common-subsequence rendering with
+    ``{-deleted-}`` and ``{+inserted+}`` segments.
+    """
+    original = list(original)
+    adversarial = list(adversarial)
+    if len(original) == len(adversarial):
+        parts = [
+            a if a == b else f"[{a} -> {b}]"
+            for a, b in zip(original, adversarial)
+        ]
+        return " ".join(parts)
+    # LCS alignment for length-changing paraphrases
+    n, m = len(original), len(adversarial)
+    lcs = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            if original[i] == adversarial[j]:
+                lcs[i][j] = lcs[i + 1][j + 1] + 1
+            else:
+                lcs[i][j] = max(lcs[i + 1][j], lcs[i][j + 1])
+    parts: list[str] = []
+    i = j = 0
+    while i < n and j < m:
+        if original[i] == adversarial[j]:
+            parts.append(original[i])
+            i += 1
+            j += 1
+        elif lcs[i + 1][j] >= lcs[i][j + 1]:
+            parts.append(f"{{-{original[i]}-}}")
+            i += 1
+        else:
+            parts.append(f"{{+{adversarial[j]}+}}")
+            j += 1
+    parts.extend(f"{{-{tok}-}}" for tok in original[i:])
+    parts.extend(f"{{+{tok}+}}" for tok in adversarial[j:])
+    return " ".join(parts)
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width aligned text table."""
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """GitHub-flavored Markdown table."""
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

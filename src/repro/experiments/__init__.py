@@ -1,0 +1,21 @@
+"""Experiment drivers — one module per paper table/figure.
+
+=================  =============================================
+Module             Paper artifact
+=================  =============================================
+``table2``         Table 2 — clean vs adversarial accuracy
+``table3``         Table 3 — optimization-method comparison
+``figure4``        Figure 4 — success rate vs λ_s per λ_w
+``table4``         Table 4 — (simulated) human evaluation
+``table5``         Table 5 — adversarial training
+``table6``         Table 6 — dataset statistics
+``examples_gallery``  Figure 1 — adversarial text examples
+=================  =============================================
+
+All drivers consume an :class:`~repro.experiments.common.ExperimentContext`
+so datasets and trained models are built once and shared.
+"""
+
+from repro.experiments.common import DATASETS, MODELS, ExperimentContext, ExperimentSettings
+
+__all__ = ["ExperimentContext", "ExperimentSettings", "DATASETS", "MODELS"]

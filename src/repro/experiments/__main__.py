@@ -1,0 +1,86 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table3            # one artifact
+    python -m repro.experiments table2 figure4    # several
+    python -m repro.experiments all               # everything
+    python -m repro.experiments table3 --save results/   # + JSON/CSV dumps
+
+Results print as aligned text tables; trained victims are cached under
+``.cache/`` so repeated runs are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.artifacts import ResultsWriter
+from repro.experiments import (
+    appendix_examples,
+    examples_gallery,
+    figure4,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.common import ExperimentContext
+
+_ARTIFACTS = {
+    "table2": (table2.run, table2.render),
+    "table3": (table3.run, table3.render),
+    "table4": (table4.run, table4.render),
+    "table5": (table5.run, table5.render),
+    "table6": (table6.run, table6.render),
+    "figure4": (figure4.run, figure4.render),
+    "figure1": (
+        examples_gallery.run,
+        lambda entries: "\n\n".join(examples_gallery.render_entry(e) for e in entries),
+    ),
+    "appendix": (appendix_examples.run, appendix_examples.render),
+}
+
+# figure1 entries hold AttackResult objects; only tabular artifacts are saved
+_SAVEABLE = {"table2", "table3", "table4", "table5", "table6", "figure4"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        choices=sorted(_ARTIFACTS) + ["all"],
+        help="which table/figure to regenerate ('all' for everything)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="also dump tabular results as JSON + CSV under DIR",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(_ARTIFACTS) if "all" in args.artifacts else args.artifacts
+    context = ExperimentContext()
+    writer = ResultsWriter(args.save) if args.save else None
+    for name in names:
+        print(f"\n=== {name} ===")
+        start = time.perf_counter()
+        run, render = _ARTIFACTS[name]
+        rows = run(context)
+        print(render(rows))
+        if writer is not None and name in _SAVEABLE:
+            saved = writer.save(name, rows, artifact=name)
+            print(f"[saved {saved} and the matching .csv]")
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,297 @@
+"""Shared experiment setup: datasets, embeddings, trained victims, attacks.
+
+Every table/figure driver draws from one :class:`ExperimentContext`, which
+builds (and caches) the three task corpora, their synonym-clustered
+embeddings, language models, and trained WCNN/LSTM victims.  Trained
+weights are cached on disk so repeated benchmark runs skip training.
+
+Canonical settings (the reduced-scale analog of paper Sec. 6.2):
+
+- vocabulary: all corpus words (the paper's top-100k cap never binds at
+  this scale);
+- embeddings: 32-d synonym-clustered vectors (cluster radius 0.6), the
+  stand-in for 300-d word2vec;
+- similarity thresholds: ``delta_w = 0.45`` / ``delta_s = 0.4`` on our
+  1/(1+d) WMD scale — calibrated so synonym clusters pass and unrelated
+  words fail, playing the role of the paper's 0.75 on spaCy's scale;
+- termination τ = 0.7, neighbor cap k = 15, λ_w = 20% (paper values).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.attacks import (
+    Attack,
+    GradientGuidedGreedyAttack,
+    GradientWordAttack,
+    JointParaphraseAttack,
+    ObjectiveGreedyWordAttack,
+    ParaphraseConfig,
+    RandomWordAttack,
+    SentenceParaphraser,
+    WordParaphraser,
+)
+from repro.data import (
+    CorpusConfig,
+    TextDataset,
+    make_news_corpus,
+    make_sentiment_corpus,
+    make_spam_corpus,
+    news_lexicon,
+    sentiment_lexicon,
+    spam_lexicon,
+)
+from repro.data.lexicon import DomainLexicon
+from repro.models import GRUClassifier, LSTMClassifier, TextClassifier, TrainConfig, WCNN, fit
+from repro.nn.serialization import load, save
+from repro.text import (
+    NGramLM,
+    Vocabulary,
+    embedding_matrix_for_vocab,
+    synonym_clustered_embeddings,
+)
+
+__all__ = ["ExperimentSettings", "ExperimentContext", "DATASETS", "MODELS"]
+
+DATASETS = ("news", "trec07p", "yelp")
+MODELS = ("wcnn", "lstm")
+
+_CORPUS_FACTORIES = {
+    "news": (make_news_corpus, news_lexicon),
+    "trec07p": (make_spam_corpus, spam_lexicon),
+    "yelp": (make_sentiment_corpus, sentiment_lexicon),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Reduced-scale analog of the paper's Sec. 6.2 configuration."""
+
+    n_train: int = 360
+    n_test: int = 100
+    max_len: int = 72
+    embedding_dim: int = 32
+    # Embedding geometry + corpus frequency bias together determine how
+    # under-trained rare synonyms are — the attack surface.  radius 0.6
+    # puts within-cluster similarity at ~0.54 and cross-cluster at ~0.41
+    # on the 1/(1+d) scale, so delta_w = 0.45 passes synonyms and rejects
+    # unrelated words; canonical_prob 0.9 leaves rare synonyms with weak
+    # learned responses (clean accuracy stays in the paper's 93-100% band).
+    cluster_radius: float = 0.6
+    canonical_prob: float = 0.9
+    wcnn_filters: int = 64
+    lstm_hidden: int = 48
+    epochs: int = 10
+    tau: float = 0.7
+    k_neighbors: int = 15
+    delta_w: float = 0.45
+    delta_s: float = 0.4
+    # The paper's syntactic bound is delta^2 = 2 on a neural LM over real
+    # corpora.  On our small synthetic corpora an interpolated n-gram LM
+    # charges rare synonyms ~5 nats just for being rare (median candidate
+    # delta is 4.9), so the calibrated analog is the ~90th percentile,
+    # 7.5 nats: the filter prunes only the most jarring candidates, which
+    # is its role in the paper.
+    delta_lm: float = 7.5
+    lm_order: int = 3
+    seed: int = 0
+
+    def cache_key(self) -> str:
+        payload = json.dumps(asdict(self), sort_keys=True).encode()
+        return hashlib.sha1(payload).hexdigest()[:12]
+
+
+class ExperimentContext:
+    """Lazily builds and memoizes every experiment ingredient."""
+
+    def __init__(
+        self,
+        settings: ExperimentSettings | None = None,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
+        self.settings = settings or ExperimentSettings()
+        default_cache = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache
+        self._datasets: dict[str, TextDataset] = {}
+        self._lexicons: dict[str, DomainLexicon] = {}
+        self._vectors: dict[str, dict[str, np.ndarray]] = {}
+        self._vocabs: dict[str, Vocabulary] = {}
+        self._lms: dict[str, NGramLM] = {}
+        self._models: dict[tuple[str, str], TextClassifier] = {}
+
+    # -- corpora -----------------------------------------------------------
+    def dataset(self, name: str) -> TextDataset:
+        if name not in _CORPUS_FACTORIES:
+            raise KeyError(f"unknown dataset {name!r}; choose from {DATASETS}")
+        if name not in self._datasets:
+            factory, _ = _CORPUS_FACTORIES[name]
+            s = self.settings
+            self._datasets[name] = factory(
+                CorpusConfig(
+                    n_train=s.n_train,
+                    n_test=s.n_test,
+                    canonical_prob=s.canonical_prob,
+                    seed=s.seed + 100,
+                )
+            )
+        return self._datasets[name]
+
+    def lexicon(self, name: str) -> DomainLexicon:
+        if name not in self._lexicons:
+            _, lex_factory = _CORPUS_FACTORIES[name]
+            self._lexicons[name] = lex_factory()
+        return self._lexicons[name]
+
+    def vectors(self, name: str) -> dict[str, np.ndarray]:
+        if name not in self._vectors:
+            lex = self.lexicon(name)
+            s = self.settings
+            self._vectors[name] = synonym_clustered_embeddings(
+                lex.word_cluster_lists(),
+                extra_words=lex.function_words,
+                dim=s.embedding_dim,
+                cluster_radius=s.cluster_radius,
+                seed=s.seed,
+            )
+        return self._vectors[name]
+
+    def vocab(self, name: str) -> Vocabulary:
+        if name not in self._vocabs:
+            self._vocabs[name] = Vocabulary.build(self.dataset(name).documents("train"))
+        return self._vocabs[name]
+
+    def language_model(self, name: str) -> NGramLM:
+        if name not in self._lms:
+            s = self.settings
+            self._lms[name] = NGramLM(order=s.lm_order, alpha=0.1).fit(
+                self.dataset(name).documents("train")
+            )
+        return self._lms[name]
+
+    # -- models ---------------------------------------------------------------
+    def build_model(self, dataset: str, arch: str) -> TextClassifier:
+        """A fresh, untrained victim of the requested architecture."""
+        s = self.settings
+        vocab = self.vocab(dataset)
+        emb = embedding_matrix_for_vocab(vocab, self.vectors(dataset), dim=s.embedding_dim)
+        if arch == "wcnn":
+            return WCNN(
+                vocab,
+                s.max_len,
+                pretrained_embeddings=emb,
+                num_filters=s.wcnn_filters,
+                seed=s.seed,
+            )
+        if arch == "lstm":
+            return LSTMClassifier(
+                vocab,
+                s.max_len,
+                pretrained_embeddings=emb,
+                hidden_dim=s.lstm_hidden,
+                seed=s.seed,
+            )
+        if arch == "gru":
+            # not part of the paper's evaluation; provided for extensions
+            return GRUClassifier(
+                vocab,
+                s.max_len,
+                pretrained_embeddings=emb,
+                hidden_dim=s.lstm_hidden,
+                seed=s.seed,
+            )
+        raise KeyError(f"unknown architecture {arch!r}; choose from {MODELS} or 'gru'")
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(epochs=self.settings.epochs, seed=self.settings.seed)
+
+    def model(self, dataset: str, arch: str) -> TextClassifier:
+        """Trained victim, memoized in memory and on disk."""
+        key = (dataset, arch)
+        if key in self._models:
+            return self._models[key]
+        model = self.build_model(dataset, arch)
+        cache_file = (
+            self.cache_dir
+            / "models"
+            / f"{dataset}_{arch}_{self.settings.cache_key()}.npz"
+        )
+        if cache_file.exists():
+            load(model, cache_file)
+            model.eval()
+        else:
+            fit(model, self.dataset(dataset).train, self.train_config())
+            cache_file.parent.mkdir(parents=True, exist_ok=True)
+            save(model, cache_file)
+        self._models[key] = model
+        return model
+
+    # -- paraphrasers and attacks ---------------------------------------------
+    def paraphrase_config(self, dataset: str) -> ParaphraseConfig:
+        s = self.settings
+        # Paper Sec. 6.2: the LM filter is disabled for the spam corpus
+        # (corrupted text renders it ineffective) and bounded elsewhere.
+        delta_lm = float("inf") if dataset == "trec07p" else s.delta_lm
+        return ParaphraseConfig(
+            k=s.k_neighbors, delta_w=s.delta_w, delta_s=s.delta_s, delta_lm=delta_lm, seed=s.seed
+        )
+
+    def word_paraphraser(self, dataset: str) -> WordParaphraser:
+        return WordParaphraser(
+            self.lexicon(dataset),
+            self.vectors(dataset),
+            lm=self.language_model(dataset),
+            config=self.paraphrase_config(dataset),
+        )
+
+    def sentence_paraphraser(self, dataset: str) -> SentenceParaphraser:
+        return SentenceParaphraser(
+            self.lexicon(dataset),
+            self.vectors(dataset),
+            config=self.paraphrase_config(dataset),
+        )
+
+    def sentence_budget(self, dataset: str) -> float:
+        """λ_s per paper Sec. 6.2: 60% for spam, 20% for news/yelp."""
+        return 0.6 if dataset == "trec07p" else 0.2
+
+    def make_attack(
+        self,
+        method: str,
+        model: TextClassifier,
+        dataset: str,
+        word_budget: float = 0.2,
+        sentence_budget: float | None = None,
+    ) -> Attack:
+        """Attack factory by method name.
+
+        Methods: ``joint`` (Alg. 1, ours), ``gradient-guided`` (Alg. 3),
+        ``objective-greedy`` ([19]), ``gradient`` ([18]), ``random``.
+        """
+        wp = self.word_paraphraser(dataset)
+        tau = self.settings.tau
+        if method == "joint":
+            sb = sentence_budget if sentence_budget is not None else self.sentence_budget(dataset)
+            return JointParaphraseAttack(
+                model,
+                wp,
+                self.sentence_paraphraser(dataset),
+                word_budget_ratio=word_budget,
+                sentence_budget_ratio=sb,
+                tau=tau,
+            )
+        if method == "gradient-guided":
+            return GradientGuidedGreedyAttack(model, wp, word_budget, tau=tau)
+        if method == "objective-greedy":
+            return ObjectiveGreedyWordAttack(model, wp, word_budget, tau=tau)
+        if method == "gradient":
+            return GradientWordAttack(model, wp, word_budget)
+        if method == "random":
+            return RandomWordAttack(model, wp, word_budget, seed=self.settings.seed)
+        raise KeyError(f"unknown attack method {method!r}")

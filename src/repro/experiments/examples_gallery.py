@@ -1,0 +1,83 @@
+"""Figure 1: a gallery of generated adversarial examples.
+
+The paper's Figure 1 shows original/adversarial text pairs with the
+classifier's confidence before and after, annotating sentence-level and
+word-level paraphrases.  This driver generates the same artifact from the
+synthetic corpora: successful joint attacks rendered with their
+probability flip and the list of substitutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.base import AttackResult
+from repro.eval.metrics import evaluate_attack
+from repro.eval.reporting import render_word_diff
+from repro.experiments.common import DATASETS, ExperimentContext
+from repro.text.tokenizer import detokenize
+
+__all__ = ["GalleryEntry", "run", "render_entry", "main"]
+
+
+@dataclass
+class GalleryEntry:
+    dataset: str
+    model: str
+    result: AttackResult
+    class_names: tuple[str, str]
+
+
+def run(
+    context: ExperimentContext,
+    per_dataset: int = 2,
+    datasets: tuple[str, ...] = DATASETS,
+    arch: str = "wcnn",
+    max_examples: int = 30,
+) -> list[GalleryEntry]:
+    """Collect successful attacks to display."""
+    entries: list[GalleryEntry] = []
+    for dataset in datasets:
+        model = context.model(dataset, arch)
+        ds = context.dataset(dataset)
+        ev = evaluate_attack(
+            model,
+            context.make_attack("joint", model, dataset),
+            ds.test,
+            max_examples=max_examples,
+        )
+        wins = [r for r in ev.results if r.success][:per_dataset]
+        entries.extend(
+            GalleryEntry(dataset, arch, r, ds.class_names) for r in wins
+        )
+    return entries
+
+
+def render_entry(entry: GalleryEntry) -> str:
+    r = entry.result
+    original_label = entry.class_names[1 - r.target_label]
+    target_label = entry.class_names[r.target_label]
+    lines = [
+        f"Task: {entry.dataset}. Classifier: {entry.model.upper()}.",
+        f"Original: {100 * (1 - r.original_prob):.0f}% {original_label}. "
+        f"ADV: {100 * r.adversarial_prob:.0f}% {target_label}.",
+        f"Changes: {r.n_word_changes} word-level, {r.n_sentence_changes} sentence-level; "
+        f"stages: {', '.join(r.stages) or 'none'}",
+        f"  ORIGINAL: {detokenize(r.original)}",
+        f"  ADVERSARIAL: {detokenize(r.adversarial)}",
+        f"  DIFF: {render_word_diff(r.original, r.adversarial)}",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> list[GalleryEntry]:  # pragma: no cover - CLI convenience
+    context = ExperimentContext()
+    entries = run(context)
+    for entry in entries:
+        print(render_entry(entry))
+        print()
+    return entries
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

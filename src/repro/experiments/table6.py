@@ -1,0 +1,58 @@
+"""Table 6 (appendix): dataset statistics.
+
+Reports the corpus sizes, vocabulary and length statistics of the three
+synthetic task corpora, mirroring the paper's appendix table (at reduced
+scale — the substitution is documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table
+from repro.experiments.common import DATASETS, ExperimentContext
+
+__all__ = ["run", "main"]
+
+_TASK_NAMES = {
+    "news": "Fake news detection",
+    "trec07p": "Spam filtering",
+    "yelp": "Sentiment analysis",
+}
+
+
+def run(context: ExperimentContext, datasets: tuple[str, ...] = DATASETS) -> list[dict]:
+    """One statistics dict per dataset (Table 6 rows)."""
+    rows = []
+    for name in datasets:
+        stats = context.dataset(name).statistics()
+        stats["paper_task"] = _TASK_NAMES[name]
+        rows.append(stats)
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    return format_table(
+        ["dataset", "task", "#train", "#test", "vocab", "avg len", "pos frac"],
+        [
+            [
+                r["task"],
+                r["paper_task"],
+                r["n_train"],
+                r["n_test"],
+                r["vocab_size"],
+                f"{r['avg_length']:.1f}",
+                f"{r['positive_fraction']:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+
+
+def main() -> list[dict]:  # pragma: no cover - CLI convenience
+    context = ExperimentContext()
+    rows = run(context)
+    print(render(rows))
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,33 @@
+"""Text classifiers: WCNN and LSTM (the paper's attacked models), a
+bag-of-words baseline, and the simplified variants used in Theorems 1-2."""
+
+from repro.models.attention_classifier import AttentionClassifier
+from repro.models.base import TextClassifier
+from repro.models.bow import BowClassifier
+from repro.models.gru_classifier import GRUClassifier
+from repro.models.lstm_classifier import LSTMClassifier
+from repro.models.theory_models import (
+    CONCAVE_ACTIVATIONS,
+    MONOTONE_ACTIVATIONS,
+    ScalarRNN,
+    SimplifiedWCNN,
+)
+from repro.models.train import TrainConfig, TrainResult, evaluate, fit
+from repro.models.wcnn import WCNN
+
+__all__ = [
+    "TextClassifier",
+    "WCNN",
+    "LSTMClassifier",
+    "GRUClassifier",
+    "AttentionClassifier",
+    "BowClassifier",
+    "SimplifiedWCNN",
+    "ScalarRNN",
+    "CONCAVE_ACTIVATIONS",
+    "MONOTONE_ACTIVATIONS",
+    "TrainConfig",
+    "TrainResult",
+    "fit",
+    "evaluate",
+]

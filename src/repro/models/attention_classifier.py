@@ -1,0 +1,56 @@
+"""Self-attention text classifier — an extension victim.
+
+A small pre-norm transformer encoder (sinusoidal positions, N blocks,
+masked mean pooling) exposing the same attackable interface as WCNN/LSTM.
+Used by the architecture-robustness extension benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import TransformerBlock, sinusoidal_positions
+from repro.nn.layers import Dense, Embedding
+from repro.nn.tensor import Tensor
+from repro.models.base import TextClassifier
+from repro.text.vocab import Vocabulary
+
+__all__ = ["AttentionClassifier"]
+
+
+class AttentionClassifier(TextClassifier):
+    """N-block single-head transformer encoder for binary classification."""
+
+    def __init__(
+        self,
+        vocab: Vocabulary,
+        max_len: int,
+        embedding_dim: int = 32,
+        num_blocks: int = 2,
+        pretrained_embeddings: np.ndarray | None = None,
+        freeze_embeddings: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        rng = np.random.default_rng(seed)
+        if pretrained_embeddings is not None:
+            embedding = Embedding.from_pretrained(pretrained_embeddings, frozen=freeze_embeddings)
+            embedding_dim = pretrained_embeddings.shape[1]
+        else:
+            embedding = Embedding(len(vocab), embedding_dim, rng=rng)
+        super().__init__(vocab, embedding, max_len)
+        self.positions = sinusoidal_positions(max_len, embedding_dim)
+        self.blocks = [TransformerBlock(embedding_dim, rng=rng) for _ in range(num_blocks)]
+        self.head = Dense(embedding_dim, 2, rng=rng)
+
+    def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
+        seq_len = emb.shape[1]
+        x = emb + Tensor(self.positions[:seq_len])
+        for block in self.blocks:
+            x = block(x, mask=mask)
+        # masked mean pooling
+        mask_f = np.asarray(mask, dtype=np.float64)
+        counts = np.maximum(mask_f.sum(axis=1, keepdims=True), 1.0)
+        pooled = (x * Tensor(mask_f[:, :, None])).sum(axis=1) * Tensor(1.0 / counts)
+        return self.head(pooled)

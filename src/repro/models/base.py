@@ -1,0 +1,117 @@
+"""Common interface for attackable text classifiers.
+
+Every classifier in this package exposes exactly what the paper's attacks
+need:
+
+- ``predict_proba(docs)`` — batched class probabilities ``C(V(x))``;
+- ``target_probability(doc, y)`` — the scalar ``C_y(V(x))`` being maximized
+  (Problem 1);
+- ``embedding_gradient(doc, y)`` — ``∇_v C_y(V(x))`` with respect to each
+  word's embedding vector, used by the Gauss–Southwell word selection in
+  Algorithm 3 and by the pure gradient baseline of Gong et al. [18].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Embedding, Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.text.vocab import Vocabulary
+
+__all__ = ["TextClassifier"]
+
+
+class TextClassifier(Module):
+    """Base class wiring a vocabulary + embedding to an attackable head.
+
+    Subclasses implement :meth:`forward_from_embeddings`, mapping a
+    ``(B, T, D)`` embedding tensor (plus padding mask) to ``(B, C)`` logits.
+    """
+
+    def __init__(self, vocab: Vocabulary, embedding: Embedding, max_len: int) -> None:
+        super().__init__()
+        if max_len < 1:
+            raise ValueError(f"max_len must be positive, got {max_len}")
+        self.vocab = vocab
+        self.embedding = embedding
+        self.max_len = max_len
+
+    # -- to be provided by subclasses ---------------------------------------
+    def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
+        """Logits from an embedding tensor; the attack-gradient entry point."""
+        raise NotImplementedError
+
+    @property
+    def num_classes(self) -> int:
+        return 2
+
+    # -- encoding -------------------------------------------------------------
+    def encode(self, docs: Sequence[Sequence[str]]) -> tuple[np.ndarray, np.ndarray]:
+        """Tokenized documents → padded id matrix + mask."""
+        return self.vocab.encode_batch(docs, self.max_len)
+
+    # -- forward passes ---------------------------------------------------------
+    def forward(self, token_ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Logits from an id matrix (training entry point)."""
+        return self.forward_from_embeddings(self.embedding(token_ids), mask)
+
+    def predict_proba(
+        self, docs: Sequence[Sequence[str]], batch_size: int = 128
+    ) -> np.ndarray:
+        """Class probabilities for tokenized documents, ``(B, C)``."""
+        probs = []
+        with no_grad():
+            for start in range(0, len(docs), batch_size):
+                chunk = docs[start : start + batch_size]
+                ids, mask = self.encode(chunk)
+                logits = self.forward(ids, mask)
+                probs.append(softmax(logits, axis=-1).data)
+        if not probs:
+            return np.zeros((0, self.num_classes))
+        return np.concatenate(probs, axis=0)
+
+    def predict(self, docs: Sequence[Sequence[str]], batch_size: int = 128) -> np.ndarray:
+        """Hard label predictions."""
+        return self.predict_proba(docs, batch_size).argmax(axis=1)
+
+    def accuracy(
+        self, docs: Sequence[Sequence[str]], labels: np.ndarray, batch_size: int = 128
+    ) -> float:
+        """Fraction of documents classified as ``labels``."""
+        if len(docs) == 0:
+            raise ValueError("accuracy over an empty set is undefined")
+        preds = self.predict(docs, batch_size)
+        return float((preds == np.asarray(labels)).mean())
+
+    def target_probability(self, doc: Sequence[str], target_label: int) -> float:
+        """``C_y(V(x))`` — the attack objective for one document."""
+        return float(self.predict_proba([list(doc)])[0, target_label])
+
+    # -- gradients for attacks ------------------------------------------------
+    def embedding_gradient(
+        self, doc: Sequence[str], target_label: int
+    ) -> np.ndarray:
+        """Gradient of ``C_y`` w.r.t. each word's embedding vector.
+
+        Returns an array of shape ``(len(doc), D)`` (truncated to
+        ``max_len``); rows for padding are never produced.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            ids, mask = self.encode([list(doc)])
+            emb_values = self.embedding.weight.data[ids]
+            emb = Tensor(emb_values, requires_grad=True)
+            logits = self.forward_from_embeddings(emb, mask)
+            prob = softmax(logits, axis=-1)[0, target_label]
+            prob.backward()
+            grad = emb.grad[0]
+        finally:
+            if was_training:
+                self.train()
+        n_real = int(mask[0].sum())
+        return grad[:n_real]

@@ -1,0 +1,88 @@
+"""Bag-of-words logistic-regression classifier.
+
+Used for (a) Proposition 2's bag-of-words embedding case, where the
+gradient relaxation is exactly modular, and (b) as the "oracle" labeler in
+the simulated human evaluation (Table 4) — a model trained on a different
+representation than the attacked classifiers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dense
+from repro.nn.tensor import Tensor
+from repro.nn.functional import softmax
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.layers import Module
+from repro.text.vocab import Vocabulary
+
+__all__ = ["BowClassifier"]
+
+
+class BowClassifier(Module):
+    """Logistic regression on L1-normalized word-count vectors."""
+
+    def __init__(self, vocab: Vocabulary, seed: int = 0) -> None:
+        super().__init__()
+        self.vocab = vocab
+        self.head = Dense(len(vocab), 2, rng=np.random.default_rng(seed))
+
+    def featurize(self, docs: Sequence[Sequence[str]]) -> np.ndarray:
+        """Documents → normalized bag-of-words count matrix ``(B, |V|)``."""
+        feats = np.zeros((len(docs), len(self.vocab)))
+        for i, doc in enumerate(docs):
+            for tok in doc:
+                feats[i, self.vocab.id(tok)] += 1.0
+            total = feats[i].sum()
+            if total > 0:
+                feats[i] /= total
+        return feats
+
+    def forward(self, feats: np.ndarray) -> Tensor:
+        return self.head(Tensor(feats))
+
+    def fit(
+        self,
+        docs: Sequence[Sequence[str]],
+        labels: np.ndarray,
+        epochs: int = 60,
+        lr: float = 0.05,
+        weight_decay: float = 1e-4,
+    ) -> "BowClassifier":
+        """Full-batch Adam training."""
+        feats = self.featurize(docs)
+        labels = np.asarray(labels)
+        opt = Adam(self.parameters(), lr=lr, weight_decay=weight_decay)
+        for _ in range(epochs):
+            opt.zero_grad()
+            loss = softmax_cross_entropy(self.forward(feats), labels)
+            loss.backward()
+            opt.step()
+        return self
+
+    def predict_proba(self, docs: Sequence[Sequence[str]]) -> np.ndarray:
+        return softmax(self.forward(self.featurize(docs)), axis=-1).data
+
+    def feature_gradient(self, doc: Sequence[str], target_label: int) -> np.ndarray:
+        """``∇ C_y`` w.r.t. the bag-of-words feature vector (length ``|V|``).
+
+        This is the gradient Proposition 2's bag-of-words case consumes:
+        the modular relaxation scores a word swap ``d_i0 → d_it`` as
+        ``g[d_it] − g[d_i0]``.
+        """
+        feats = Tensor(self.featurize([doc]), requires_grad=True)
+        prob = softmax(self.head(feats), axis=-1)[0, target_label]
+        prob.backward()
+        return feats.grad[0]
+
+    def predict(self, docs: Sequence[Sequence[str]]) -> np.ndarray:
+        return self.predict_proba(docs).argmax(axis=1)
+
+    def accuracy(self, docs: Sequence[Sequence[str]], labels: np.ndarray) -> float:
+        if len(docs) == 0:
+            raise ValueError("accuracy over an empty set is undefined")
+        return float((self.predict(docs) == np.asarray(labels)).mean())

@@ -1,0 +1,46 @@
+"""GRU text classifier — an additional recurrent victim.
+
+Not part of the paper's evaluation (which uses WCNN and LSTM) but provided
+because the attack framework is model-agnostic: any classifier exposing
+``forward_from_embeddings`` is attackable, and a GRU is the most common
+LSTM alternative downstream users will want to test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, Embedding
+from repro.nn.rnn import GRU
+from repro.nn.tensor import Tensor
+from repro.models.base import TextClassifier
+from repro.text.vocab import Vocabulary
+
+__all__ = ["GRUClassifier"]
+
+
+class GRUClassifier(TextClassifier):
+    """Single-layer GRU for binary text classification."""
+
+    def __init__(
+        self,
+        vocab: Vocabulary,
+        max_len: int,
+        embedding_dim: int = 32,
+        hidden_dim: int = 64,
+        pretrained_embeddings: np.ndarray | None = None,
+        freeze_embeddings: bool = False,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        if pretrained_embeddings is not None:
+            embedding = Embedding.from_pretrained(pretrained_embeddings, frozen=freeze_embeddings)
+            embedding_dim = pretrained_embeddings.shape[1]
+        else:
+            embedding = Embedding(len(vocab), embedding_dim, rng=rng)
+        super().__init__(vocab, embedding, max_len)
+        self.gru = GRU(embedding_dim, hidden_dim, rng=rng)
+        self.head = Dense(hidden_dim, 2, rng=rng)
+
+    def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
+        return self.head(self.gru(emb, mask=mask))

@@ -1,0 +1,47 @@
+"""LSTM text classifier (paper Sec. 6.1).
+
+One-layer LSTM over word embeddings; the final hidden state (at each
+document's true end, via masking) feeds a fully-connected classification
+head.  The paper uses 512 hidden units over 300-d word2vec; here both are
+scaled down with the rest of the substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, Embedding
+from repro.nn.rnn import LSTM
+from repro.nn.tensor import Tensor
+from repro.models.base import TextClassifier
+from repro.text.vocab import Vocabulary
+
+__all__ = ["LSTMClassifier"]
+
+
+class LSTMClassifier(TextClassifier):
+    """Single-layer LSTM for binary text classification."""
+
+    def __init__(
+        self,
+        vocab: Vocabulary,
+        max_len: int,
+        embedding_dim: int = 32,
+        hidden_dim: int = 64,
+        pretrained_embeddings: np.ndarray | None = None,
+        freeze_embeddings: bool = False,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        if pretrained_embeddings is not None:
+            embedding = Embedding.from_pretrained(pretrained_embeddings, frozen=freeze_embeddings)
+            embedding_dim = pretrained_embeddings.shape[1]
+        else:
+            embedding = Embedding(len(vocab), embedding_dim, rng=rng)
+        super().__init__(vocab, embedding, max_len)
+        self.lstm = LSTM(embedding_dim, hidden_dim, rng=rng)
+        self.head = Dense(hidden_dim, 2, rng=rng)
+
+    def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
+        h, _ = self.lstm(emb, mask=mask)
+        return self.head(h)

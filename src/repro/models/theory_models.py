@@ -1,0 +1,176 @@
+"""The simplified classifiers of Theorems 1 and 2, as pure-NumPy functions.
+
+These are *analysis objects*, not trained models: Theorem 1 concerns a
+W-CNN with non-overlapping windows (stride ≥ kernel), no dropout/softmax,
+and a non-negative readout; Theorem 2 a recurrent network with a
+one-dimensional hidden state, positive recurrent weight and readout, and a
+concave non-decreasing activation.  Both expose ``output(vectors)`` on a
+``(T, D)`` array of word vectors so the submodularity checkers in
+:mod:`repro.submodular.checks` can evaluate the attack set function exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["SimplifiedWCNN", "ScalarRNN", "CONCAVE_ACTIVATIONS", "MONOTONE_ACTIVATIONS"]
+
+MONOTONE_ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "relu": lambda x: np.maximum(x, 0.0),
+    "tanh": np.tanh,
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "identity": lambda x: x,
+}
+
+# Concave *and* non-decreasing on all of R (Theorem 2's requirement).
+# "log_sigmoid" is ln(2·σ(x)): bounded above by ln 2, slope in (0, 1), so the
+# scalar recurrence never blows up — the numerically safe default.
+# "satexp" is 1 − e^{−x}; its argument is clamped at −700 purely to avoid
+# float overflow (the clamp is far outside any domain the checks explore).
+CONCAVE_ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "log_sigmoid": lambda x: np.log(2.0) - np.logaddexp(0.0, -x),
+    "satexp": lambda x: 1.0 - np.exp(-np.maximum(x, -700.0)),
+    "identity": lambda x: x,
+}
+
+
+class SimplifiedWCNN:
+    """The Theorem 1 classifier: ``C(v) = w' · ĉ + b'`` (eq. 4).
+
+    ``ĉ_j = max_i φ(w_j · v_{window i} + b_j)`` with non-overlapping
+    windows (``stride ≥ kernel_size``).
+    """
+
+    def __init__(
+        self,
+        filters: np.ndarray,
+        filter_bias: np.ndarray,
+        readout: np.ndarray,
+        readout_bias: float = 0.0,
+        kernel_size: int = 1,
+        stride: int | None = None,
+        activation: str = "relu",
+    ) -> None:
+        self.filters = np.asarray(filters, dtype=np.float64)  # (m, h*D)
+        self.filter_bias = np.asarray(filter_bias, dtype=np.float64)
+        self.readout = np.asarray(readout, dtype=np.float64)
+        self.readout_bias = float(readout_bias)
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride < self.kernel_size:
+            raise ValueError(
+                "Theorem 1 requires non-overlapping windows (stride >= kernel_size)"
+            )
+        if activation not in MONOTONE_ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+        self._phi = MONOTONE_ACTIVATIONS[activation]
+        if np.any(self.readout < 0):
+            raise ValueError("Theorem 1 requires a non-negative readout w'")
+        if self.filters.ndim != 2 or self.filters.shape[0] != len(self.filter_bias):
+            raise ValueError("filters must be (m, h*D) with one bias per filter")
+        if len(self.readout) != self.filters.shape[0]:
+            raise ValueError("readout length must equal the number of filters")
+
+    @classmethod
+    def random_instance(
+        cls,
+        num_filters: int = 4,
+        dim: int = 3,
+        kernel_size: int = 1,
+        activation: str = "relu",
+        seed: int = 0,
+    ) -> "SimplifiedWCNN":
+        """A random instance satisfying all Theorem 1 conditions."""
+        rng = np.random.default_rng(seed)
+        return cls(
+            filters=rng.normal(size=(num_filters, kernel_size * dim)),
+            filter_bias=rng.normal(size=num_filters) * 0.1,
+            readout=rng.random(num_filters) + 0.05,  # strictly positive
+            readout_bias=float(rng.normal() * 0.1),
+            kernel_size=kernel_size,
+            activation=activation,
+        )
+
+    def feature_maps(self, vectors: np.ndarray) -> np.ndarray:
+        """Pre-pooling activations, shape ``(n_windows, m)``."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        seq_len, dim = vectors.shape
+        h = self.kernel_size
+        starts = range(0, seq_len - h + 1, self.stride)
+        windows = np.stack([vectors[s : s + h].reshape(-1) for s in starts])
+        return self._phi(windows @ self.filters.T + self.filter_bias)
+
+    def output(self, vectors: np.ndarray) -> float:
+        """``C_WCNN(v_{1:n})`` for a ``(T, D)`` array of word vectors."""
+        pooled = self.feature_maps(vectors).max(axis=0)
+        return float(self.readout @ pooled + self.readout_bias)
+
+    def filter_response(self, vector: np.ndarray, filter_idx: int) -> float:
+        """``w_j · v`` for a single word vector (kernel_size 1 only)."""
+        if self.kernel_size != 1:
+            raise ValueError("filter_response is defined for kernel_size == 1")
+        return float(self.filters[filter_idx] @ np.asarray(vector))
+
+
+class ScalarRNN:
+    """The Theorem 2 classifier: 1-D hidden state RNN (eq. 5).
+
+    ``h_t = φ(w·h_{t-1} + m · v_{t-1} + b)``, output ``y · h_T`` with
+    ``w > 0``, ``y > 0`` and φ concave non-decreasing.
+    """
+
+    def __init__(
+        self,
+        recurrent_weight: float,
+        input_weights: np.ndarray,
+        bias: float,
+        readout: float,
+        h0: float = 0.0,
+        activation: str = "log_sigmoid",
+    ) -> None:
+        if recurrent_weight <= 0:
+            raise ValueError("Theorem 2 requires a positive recurrent weight w")
+        if readout <= 0:
+            raise ValueError("Theorem 2 requires a positive readout y")
+        if activation not in CONCAVE_ACTIVATIONS:
+            raise ValueError(
+                f"activation {activation!r} is not in the concave non-decreasing set"
+            )
+        self.recurrent_weight = float(recurrent_weight)
+        self.input_weights = np.asarray(input_weights, dtype=np.float64)
+        self.bias = float(bias)
+        self.readout = float(readout)
+        self.h0 = float(h0)
+        self.activation = activation
+        self._phi = CONCAVE_ACTIVATIONS[activation]
+
+    @classmethod
+    def random_instance(cls, dim: int = 3, activation: str = "log_sigmoid", seed: int = 0) -> "ScalarRNN":
+        """A random instance satisfying all Theorem 2 conditions."""
+        rng = np.random.default_rng(seed)
+        return cls(
+            recurrent_weight=float(rng.random() * 0.8 + 0.2),
+            input_weights=rng.normal(size=dim) * 0.5,
+            bias=float(rng.normal() * 0.2),
+            readout=float(rng.random() + 0.2),
+            activation=activation,
+        )
+
+    def hidden_trajectory(self, vectors: np.ndarray) -> np.ndarray:
+        """All hidden states ``h_1..h_T`` for a ``(T, D)`` input."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        h = self.h0
+        states = np.empty(len(vectors))
+        for t, v in enumerate(vectors):
+            h = float(self._phi(self.recurrent_weight * h + self.input_weights @ v + self.bias))
+            states[t] = h
+        return states
+
+    def output(self, vectors: np.ndarray) -> float:
+        """``C_RNN(v_{1:T}) = y · h_T``."""
+        if len(vectors) == 0:
+            return self.readout * self.h0
+        return self.readout * float(self.hidden_trajectory(vectors)[-1])

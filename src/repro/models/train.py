@@ -1,0 +1,120 @@
+"""Training loop for the text classifiers.
+
+Mirrors the paper's protocol (Sec. 6.2): mini-batches of 16, a held-out
+validation fraction of the training data used to pick the stopping epoch,
+and Adam as the optimizer (the paper does not state theirs; Adam is the
+standard choice for these models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.datasets import Example
+from repro.models.base import TextClassifier
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.serialization import load_state_dict, state_dict
+
+__all__ = ["TrainConfig", "TrainResult", "fit", "evaluate"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters of one training run."""
+
+    epochs: int = 12
+    batch_size: int = 16
+    lr: float = 2e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    val_fraction: float = 0.1
+    patience: int = 3
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.val_fraction < 1.0:
+            raise ValueError("val_fraction must be in [0, 1)")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history and the selected epoch."""
+
+    train_losses: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_val_accuracy: float = 0.0
+
+
+def fit(model: TextClassifier, examples: list[Example], config: TrainConfig | None = None) -> TrainResult:
+    """Train ``model`` on ``examples``; restores the best-validation weights."""
+    config = config or TrainConfig()
+    if not examples:
+        raise ValueError("cannot train on an empty example list")
+    rng = np.random.default_rng(config.seed)
+    order = rng.permutation(len(examples))
+    n_val = int(len(examples) * config.val_fraction)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    train_set = [examples[i] for i in train_idx]
+    val_set = [examples[i] for i in val_idx]
+
+    optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+    result = TrainResult()
+    best_state: dict | None = None
+    stale = 0
+
+    for epoch in range(config.epochs):
+        model.train()
+        epoch_order = rng.permutation(len(train_set))
+        losses = []
+        for start in range(0, len(train_set), config.batch_size):
+            batch = [train_set[i] for i in epoch_order[start : start + config.batch_size]]
+            docs = [list(ex.tokens) for ex in batch]
+            labels = np.array([ex.label for ex in batch])
+            ids, mask = model.encode(docs)
+            optimizer.zero_grad()
+            logits = model.forward(ids, mask)
+            loss = softmax_cross_entropy(logits, labels)
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            losses.append(loss.item())
+        result.train_losses.append(float(np.mean(losses)))
+
+        model.eval()
+        if val_set:
+            val_acc = evaluate(model, val_set)
+        else:
+            val_acc = 1.0 - result.train_losses[-1]  # fall back to loss ordering
+        result.val_accuracies.append(val_acc)
+        if config.verbose:
+            print(
+                f"epoch {epoch}: loss={result.train_losses[-1]:.4f} val_acc={val_acc:.3f}"
+            )
+        if val_acc > result.best_val_accuracy:
+            result.best_val_accuracy = val_acc
+            result.best_epoch = epoch
+            best_state = state_dict(model)
+            stale = 0
+        else:
+            stale += 1
+            if stale > config.patience:
+                break
+
+    if best_state is not None:
+        load_state_dict(model, best_state)
+    model.eval()
+    return result
+
+
+def evaluate(model: TextClassifier, examples: list[Example], batch_size: int = 128) -> float:
+    """Accuracy of ``model`` on a list of examples."""
+    docs = [list(ex.tokens) for ex in examples]
+    labels = np.array([ex.label for ex in examples])
+    return model.accuracy(docs, labels, batch_size=batch_size)

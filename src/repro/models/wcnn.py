@@ -1,0 +1,72 @@
+"""Word-level convolutional network (Kim 2014), the paper's WCNN.
+
+Architecture (paper Sec. 6.1 / Fig. 3): embedding → temporal convolution of
+kernel size 3 → ReLU → max-over-time pooling → dropout → fully-connected
+classification head.
+
+The paper additionally uses a small *inference-time* dropout (5%) on WCNN
+during attacks (Sec. 6.4, citing Gal & Ghahramani's Bayesian-dropout view);
+``inference_dropout`` reproduces that switch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import dropout as dropout_fn
+from repro.nn.layers import Conv1d, Dense, Embedding, MaxOverTime
+from repro.nn.tensor import Tensor
+from repro.models.base import TextClassifier
+from repro.text.vocab import Vocabulary
+
+__all__ = ["WCNN"]
+
+
+class WCNN(TextClassifier):
+    """Kim-2014 style word-level CNN for binary classification."""
+
+    def __init__(
+        self,
+        vocab: Vocabulary,
+        max_len: int,
+        embedding_dim: int = 32,
+        num_filters: int = 64,
+        kernel_size: int = 3,
+        dropout: float = 0.3,
+        inference_dropout: float = 0.0,
+        pretrained_embeddings: np.ndarray | None = None,
+        freeze_embeddings: bool = False,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        if pretrained_embeddings is not None:
+            embedding = Embedding.from_pretrained(pretrained_embeddings, frozen=freeze_embeddings)
+            embedding_dim = pretrained_embeddings.shape[1]
+        else:
+            embedding = Embedding(len(vocab), embedding_dim, rng=rng)
+        super().__init__(vocab, embedding, max_len)
+        self.conv = Conv1d(embedding_dim, num_filters, kernel_size, stride=1, rng=rng)
+        self.pool = MaxOverTime()
+        self.dropout_p = dropout
+        self.inference_dropout = inference_dropout
+        self._dropout_rng = np.random.default_rng(seed + 1)
+        self.head = Dense(num_filters, 2, rng=rng)
+
+    def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
+        feats = self.conv(emb).relu()
+        window_mask = self._window_mask(mask)
+        pooled = self.pool(feats, mask=window_mask)
+        p = self.dropout_p if self.training else self.inference_dropout
+        if p > 0:
+            pooled = dropout_fn(pooled, p, training=True, rng=self._dropout_rng)
+        return self.head(pooled)
+
+    def _window_mask(self, mask: np.ndarray) -> np.ndarray:
+        """A convolution window is real iff its *first* position is real.
+
+        Windows that start inside padding contribute nothing; windows that
+        start on real tokens but extend into padding see zero-vectors,
+        matching standard zero-padded convolutions.
+        """
+        starts = self.conv.window_starts(mask.shape[1])
+        return np.asarray(mask)[:, starts]

@@ -1,0 +1,94 @@
+"""Self-attention building blocks: LayerNorm, scaled dot-product attention
+and a pre-norm transformer encoder block.
+
+Not used by the paper's victims (WCNN/LSTM, 2019) but included because the
+paper positions its attack framework as architecture-agnostic ("our
+techniques can be applied more broadly"); the benchmarks use
+:class:`~repro.models.attention_classifier.AttentionClassifier` to compare
+architectural robustness under the same attacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Dense, Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["LayerNorm", "SelfAttention", "TransformerBlock", "sinusoidal_positions"]
+
+
+def sinusoidal_positions(seq_len: int, dim: int) -> np.ndarray:
+    """Fixed sinusoidal positional encodings, shape ``(seq_len, dim)``."""
+    if dim % 2 != 0:
+        raise ValueError("positional encoding dimension must be even")
+    positions = np.arange(seq_len)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    enc = np.zeros((seq_len, dim))
+    enc[:, 0::2] = np.sin(positions * div)
+    enc[:, 1::2] = np.cos(positions * div)
+    return enc
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gain = Parameter(np.ones(dim), name="ln_gain")
+        self.bias = Parameter(np.zeros(dim), name="ln_bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps) ** -0.5
+        return normed * self.gain + self.bias
+
+
+class SelfAttention(Module):
+    """Single-head scaled dot-product self-attention with padding mask."""
+
+    NEG = -1e30
+
+    def __init__(self, dim: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.q = Dense(dim, dim, rng=rng, bias=False)
+        self.k = Dense(dim, dim, rng=rng, bias=False)
+        self.v = Dense(dim, dim, rng=rng, bias=False)
+        self.out = Dense(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        _, seq_len, dim = x.shape
+        if dim != self.dim:
+            raise ValueError(f"expected input dim {self.dim}, got {dim}")
+        q, k, v = self.q(x), self.k(x), self.v(x)
+        scores = (q @ k.transpose(0, 2, 1)) * (1.0 / np.sqrt(dim))
+        if mask is not None:
+            penalty = np.where(np.asarray(mask, dtype=bool), 0.0, self.NEG)
+            scores = scores + Tensor(penalty[:, None, :])  # mask keys
+        weights = softmax(scores, axis=-1)
+        return self.out(weights @ v)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block: attention + position-wise FFN."""
+
+    def __init__(self, dim: int, ffn_dim: int | None = None, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        ffn_dim = ffn_dim or 2 * dim
+        self.norm1 = LayerNorm(dim)
+        self.attention = SelfAttention(dim, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Dense(dim, ffn_dim, activation="relu", rng=rng)
+        self.ffn_out = Dense(ffn_dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attention(self.norm1(x), mask=mask)
+        return x + self.ffn_out(self.ffn_in(self.norm2(x)))

@@ -1,0 +1,58 @@
+"""Stateless differentiable functions built on :mod:`repro.nn.tensor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "relu",
+    "tanh",
+    "sigmoid",
+    "dropout",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout.
+
+    During training each element is zeroed with probability ``p`` and the
+    survivors are scaled by ``1/(1-p)``.  At inference time the input passes
+    through unchanged.  The paper (Sec. 6.4) notes that *inference-time*
+    dropout acts as a Bayesian approximation and interacts with attack
+    search noise; :class:`repro.models.wcnn.WCNN` exposes an
+    ``inference_dropout`` switch that routes through here with
+    ``training=True``.
+    """
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)

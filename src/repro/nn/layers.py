@@ -1,0 +1,283 @@
+"""Neural network layers (Module system) on top of the autograd tensor.
+
+The layer set matches what the paper's classifiers need:
+
+- :class:`Embedding` — word-id → vector lookup (the map ``V`` in the paper).
+- :class:`Conv1d` — temporal convolution over word vectors (WCNN, Fig. 3).
+- :class:`MaxOverTime` — max-over-time pooling (WCNN, Fig. 3).
+- :class:`Dense` — fully connected readout.
+- :class:`Dropout` — used for WCNN training *and* (optionally) inference,
+  per the paper's Sec. 6.4 discussion of Bayesian dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import init as init_
+from repro.nn.functional import dropout as dropout_fn
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Dense",
+    "Embedding",
+    "Conv1d",
+    "MaxOverTime",
+    "Dropout",
+    "Sequential",
+]
+
+
+class Parameter(Tensor):
+    """A tensor that is always a leaf with ``requires_grad=True``."""
+
+    def __init__(self, data: np.ndarray, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Minimal module base class with parameter discovery and train/eval."""
+
+    def __init__(self) -> None:
+        self._training = True
+
+    # -- mode -----------------------------------------------------------
+    @property
+    def training(self) -> bool:
+        return self._training
+
+    def train(self) -> "Module":
+        self._training = True
+        for child in self._children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self._training = False
+        for child in self._children():
+            child.eval()
+        return self
+
+    # -- parameter discovery ---------------------------------------------
+    def _children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Parameter):
+                        params.append(item)
+                    elif isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        out: list[tuple[str, Parameter]] = []
+        for key, value in self.__dict__.items():
+            path = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                out.append((path, value))
+            elif isinstance(value, Module):
+                out.extend(value.named_parameters(prefix=f"{path}."))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        out.append((f"{path}.{i}", item))
+                    elif isinstance(item, Module):
+                        out.extend(item.named_parameters(prefix=f"{path}.{i}."))
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Dense(Module):
+    """Affine layer ``y = x W^T + b`` with an optional activation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str | None = None,
+        rng: np.random.Generator | None = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init_.xavier_uniform((out_features, in_features), rng), name="weight")
+        self.bias = Parameter(init_.zeros((out_features,)), name="bias") if bias else None
+        if activation not in (None, "relu", "tanh", "sigmoid"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        if self.activation == "relu":
+            out = out.relu()
+        elif self.activation == "tanh":
+            out = out.tanh()
+        elif self.activation == "sigmoid":
+            out = out.sigmoid()
+        return out
+
+
+class Embedding(Module):
+    """Word-id → vector lookup table (the embedding map ``V``).
+
+    ``forward`` accepts an integer array of shape ``(B, T)`` and returns a
+    tensor of shape ``(B, T, D)``.  Use :meth:`from_pretrained` to load the
+    synonym-clustered vectors from :mod:`repro.text.embeddings`.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+        frozen: bool = False,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init_.uniform((num_embeddings, embedding_dim), rng, scale=0.5), name="embedding")
+        self.frozen = frozen
+        if frozen:
+            self.weight.requires_grad = False
+
+    @classmethod
+    def from_pretrained(cls, vectors: np.ndarray, frozen: bool = True) -> "Embedding":
+        emb = cls(vectors.shape[0], vectors.shape[1], frozen=frozen)
+        emb.weight.data = np.asarray(vectors, dtype=np.float64).copy()
+        return emb
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        ids = np.asarray(token_ids)
+        flat = self.weight.take_rows(ids.reshape(-1))
+        return flat.reshape(*ids.shape, self.embedding_dim)
+
+
+class Conv1d(Module):
+    """Temporal convolution over a ``(B, T, D)`` sequence of word vectors.
+
+    Implements the WCNN convolution of the paper (Sec. 4.2.1): filter ``w_j
+    ∈ R^{D·h}`` applied to windows of ``h`` consecutive word vectors with
+    stride ``s``, producing feature maps ``c_{ij} = φ(w_j · v_window + b_j)``.
+    The activation is applied by the caller so the simplified theoretical
+    model can reuse this layer.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        num_filters: int,
+        kernel_size: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size < 1 or stride < 1:
+            raise ValueError("kernel_size and stride must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.in_dim = in_dim
+        self.num_filters = num_filters
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.weight = Parameter(
+            init_.xavier_uniform((num_filters, kernel_size * in_dim), rng), name="conv_weight"
+        )
+        self.bias = Parameter(init_.zeros((num_filters,)), name="conv_bias")
+
+    def window_starts(self, seq_len: int) -> np.ndarray:
+        """Start indices of each convolution window for a given length."""
+        if seq_len < self.kernel_size:
+            raise ValueError(
+                f"sequence length {seq_len} shorter than kernel size {self.kernel_size}"
+            )
+        return np.arange(0, seq_len - self.kernel_size + 1, self.stride)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return pre-activation feature maps of shape ``(B, n_windows, F)``."""
+        _, seq_len, dim = x.shape
+        if dim != self.in_dim:
+            raise ValueError(f"expected input dim {self.in_dim}, got {dim}")
+        starts = self.window_starts(seq_len)
+        win_idx = starts[:, None] + np.arange(self.kernel_size)[None, :]
+        windows = x[:, win_idx, :]  # (B, n_win, h, D) via advanced indexing
+        flat = windows.reshape(x.shape[0], len(starts), self.kernel_size * self.in_dim)
+        return flat @ self.weight.transpose() + self.bias
+
+
+class MaxOverTime(Module):
+    """Max-over-time pooling: ``(B, T, F) → (B, F)``.
+
+    Padding positions can be excluded by passing a boolean ``mask`` of shape
+    ``(B, T)``; masked positions are replaced by a large negative constant
+    before the max so they never win.
+    """
+
+    NEG = -1e30
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            penalty = np.where(mask, 0.0, self.NEG)[:, :, None]
+            x = x + Tensor(penalty)
+        return x.max(axis=1)
+
+
+class Dropout(Module):
+    """Inverted dropout layer with its own RNG stream."""
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_fn(x, self.p, self.training, self.rng)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x

@@ -1,0 +1,46 @@
+"""Loss functions for training the text classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax
+from repro.nn.tensor import Tensor
+
+__all__ = ["softmax_cross_entropy", "binary_cross_entropy_with_logits", "l2_penalty"]
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits (B, C)`` and integer ``labels (B,)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ValueError("labels must be 1-D and match the batch dimension")
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(len(labels)), labels]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean BCE for scalar ``logits (B,)`` and 0/1 ``labels (B,)``.
+
+    Uses the stable formulation ``max(z,0) - z*y + log(1+exp(-|z|))``.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    z = logits
+    pos = z.relu()
+    abs_z = z.relu() + (-z).relu()
+    soft = (Tensor(np.ones_like(abs_z.data)) + (-abs_z).exp()).log()
+    return (pos - z * Tensor(labels) + soft).mean()
+
+
+def l2_penalty(params, coeff: float) -> Tensor:
+    """``coeff * sum_i ||p_i||^2`` over an iterable of parameters."""
+    total: Tensor | None = None
+    for p in params:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * coeff

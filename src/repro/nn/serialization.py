@@ -1,0 +1,42 @@
+"""Save/load model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["state_dict", "load_state_dict", "save", "load"]
+
+
+def state_dict(model: Module) -> dict[str, np.ndarray]:
+    """Return a name → array snapshot (copies) of all parameters."""
+    return {name: p.data.copy() for name, p in model.named_parameters()}
+
+
+def load_state_dict(model: Module, state: dict[str, np.ndarray]) -> None:
+    """Load parameter values in-place; names and shapes must match."""
+    params = dict(model.named_parameters())
+    missing = set(params) - set(state)
+    unexpected = set(state) - set(params)
+    if missing or unexpected:
+        raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+    for name, value in state.items():
+        param = params[name]
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != param.data.shape:
+            raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+        param.data = value.copy()
+
+
+def save(model: Module, path: str | os.PathLike) -> None:
+    """Serialize parameters to an ``.npz`` file."""
+    np.savez(path, **state_dict(model))
+
+
+def load(model: Module, path: str | os.PathLike) -> None:
+    """Deserialize parameters from an ``.npz`` file into ``model``."""
+    with np.load(path) as archive:
+        load_state_dict(model, {k: archive[k] for k in archive.files})

@@ -1,0 +1,69 @@
+"""Submodular optimization framework: set functions, greedy maximizers with
+the (1 − 1/e) guarantee, monotonicity/submodularity verifiers, the
+SUBSET-SUM hardness reduction (Prop. 1), and the modular gradient
+relaxation (Prop. 2)."""
+
+from repro.submodular.checks import (
+    Counterexample,
+    ViolationStats,
+    check_monotone_exhaustive,
+    check_monotone_sampled,
+    check_submodular_exhaustive,
+    check_submodular_sampled,
+    submodularity_violation_stats,
+)
+from repro.submodular.empirical import classifier_attack_set_function
+from repro.submodular.greedy import (
+    GreedyResult,
+    greedy_maximize,
+    greedy_optimality_bound,
+    lazy_greedy_maximize,
+    random_maximize,
+)
+from repro.submodular.modular import (
+    GradientRelaxation,
+    modular_relaxation_bow,
+    modular_relaxation_word2vec,
+)
+from repro.submodular.reductions import subset_sum_attack_instance, solve_subset_sum_via_attack
+from repro.submodular.set_function import (
+    AttackSetFunction,
+    CachedSetFunction,
+    ModularSetFunction,
+    SetFunction,
+)
+from repro.submodular.theory import (
+    make_output_increasing_candidates_rnn,
+    make_output_increasing_candidates_wcnn,
+    rnn_attack_set_function,
+    wcnn_attack_set_function,
+)
+
+__all__ = [
+    "SetFunction",
+    "CachedSetFunction",
+    "AttackSetFunction",
+    "ModularSetFunction",
+    "GreedyResult",
+    "greedy_maximize",
+    "lazy_greedy_maximize",
+    "random_maximize",
+    "greedy_optimality_bound",
+    "Counterexample",
+    "check_monotone_exhaustive",
+    "check_submodular_exhaustive",
+    "check_monotone_sampled",
+    "check_submodular_sampled",
+    "ViolationStats",
+    "submodularity_violation_stats",
+    "classifier_attack_set_function",
+    "subset_sum_attack_instance",
+    "solve_subset_sum_via_attack",
+    "GradientRelaxation",
+    "modular_relaxation_word2vec",
+    "modular_relaxation_bow",
+    "wcnn_attack_set_function",
+    "rnn_attack_set_function",
+    "make_output_increasing_candidates_wcnn",
+    "make_output_increasing_candidates_rnn",
+]

@@ -1,0 +1,205 @@
+"""Empirical verifiers for monotonicity and submodularity.
+
+Theorems 1 and 2 claim the attack set functions of the simplified WCNN and
+scalar RNN are submodular; these checkers verify the diminishing-returns
+condition — exhaustively on small ground sets, or on random triples
+``(X ⊆ Y, s ∉ Y)`` for larger ones — and return a counterexample when the
+claim fails (e.g. when a theorem precondition is deliberately violated).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.submodular.set_function import SetFunction
+
+__all__ = [
+    "Counterexample",
+    "check_monotone_exhaustive",
+    "check_submodular_exhaustive",
+    "check_monotone_sampled",
+    "check_submodular_sampled",
+    "ViolationStats",
+    "submodularity_violation_stats",
+]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A witness violating monotonicity or diminishing returns."""
+
+    smaller: frozenset[int]
+    larger: frozenset[int]
+    element: int | None
+    gap: float  # how badly the inequality failed (positive = violation)
+
+    def __str__(self) -> str:
+        kind = "submodularity" if self.element is not None else "monotonicity"
+        return (
+            f"{kind} violated: X={sorted(self.smaller)}, Y={sorted(self.larger)}, "
+            f"s={self.element}, gap={self.gap:.3e}"
+        )
+
+
+def check_monotone_exhaustive(f: SetFunction, tol: float = _TOL) -> Counterexample | None:
+    """Verify ``f(S) ≤ f(S ∪ {e})`` for every subset and element.
+
+    Exponential in the ground set — intended for ``n ≤ ~12``.
+    """
+    n = f.ground_set_size
+    for subset in _all_subsets(n):
+        base = f.evaluate(subset)
+        for e in range(n):
+            if e in subset:
+                continue
+            bigger = f.evaluate(subset | {e})
+            if bigger < base - tol:
+                return Counterexample(subset, subset | {e}, None, base - bigger)
+    return None
+
+
+def check_submodular_exhaustive(f: SetFunction, tol: float = _TOL) -> Counterexample | None:
+    """Verify diminishing returns for every ``X ⊆ Y`` and ``s ∉ Y``.
+
+    Checks Definition 1(1): ``f(X∪{s}) − f(X) ≥ f(Y∪{s}) − f(Y)``.
+    Exponential in the ground set — intended for ``n ≤ ~8``.
+    """
+    n = f.ground_set_size
+    values = {s: f.evaluate(s) for s in _all_subsets(n)}
+    for y in _all_subsets(n):
+        for x in _sub_subsets(y):
+            for s in range(n):
+                if s in y:
+                    continue
+                gain_x = values[x | {s}] - values[x]
+                gain_y = values[y | {s}] - values[y]
+                if gain_x < gain_y - tol:
+                    return Counterexample(x, y, s, gain_y - gain_x)
+    return None
+
+
+def check_monotone_sampled(
+    f: SetFunction, trials: int = 200, seed: int = 0, tol: float = _TOL
+) -> Counterexample | None:
+    """Randomized monotonicity check on nested pairs ``S ⊂ S ∪ {e}``."""
+    rng = np.random.default_rng(seed)
+    n = f.ground_set_size
+    if n == 0:
+        return None
+    for _ in range(trials):
+        subset = _random_subset(rng, n)
+        outside = [e for e in range(n) if e not in subset]
+        if not outside:
+            continue
+        e = int(rng.choice(outside))
+        base = f.evaluate(subset)
+        bigger = f.evaluate(subset | {e})
+        if bigger < base - tol:
+            return Counterexample(subset, subset | {e}, None, base - bigger)
+    return None
+
+
+def check_submodular_sampled(
+    f: SetFunction, trials: int = 200, seed: int = 0, tol: float = _TOL
+) -> Counterexample | None:
+    """Randomized diminishing-returns check on triples ``(X ⊆ Y, s ∉ Y)``."""
+    rng = np.random.default_rng(seed)
+    n = f.ground_set_size
+    if n < 2:
+        return None
+    for _ in range(trials):
+        y = _random_subset(rng, n)
+        outside = [e for e in range(n) if e not in y]
+        if not outside:
+            continue
+        s = int(rng.choice(outside))
+        members = sorted(y)
+        keep = rng.random(len(members)) < 0.5
+        x = frozenset(m for m, k in zip(members, keep) if k)
+        gain_x = f.evaluate(x | {s}) - f.evaluate(x)
+        gain_y = f.evaluate(y | {s}) - f.evaluate(y)
+        if gain_x < gain_y - tol:
+            return Counterexample(x, y, s, gain_y - gain_x)
+    return None
+
+
+@dataclass(frozen=True)
+class ViolationStats:
+    """How *far* a set function is from submodular, on sampled triples.
+
+    The theorems cover simplified networks; real trained WCNN/LSTM
+    classifiers are only *approximately* submodular on the attack set.
+    This quantifies the approximation: the fraction of sampled
+    diminishing-returns triples violated, and the mean/max violation gap
+    relative to the mean marginal gain.
+    """
+
+    trials: int
+    violation_rate: float
+    mean_gap: float
+    max_gap: float
+    mean_marginal_gain: float
+
+    @property
+    def relative_gap(self) -> float:
+        """Mean violation gap normalized by the mean marginal gain."""
+        if self.mean_marginal_gain <= 0:
+            return 0.0
+        return self.mean_gap / self.mean_marginal_gain
+
+
+def submodularity_violation_stats(
+    f: SetFunction, trials: int = 200, seed: int = 0, tol: float = _TOL
+) -> ViolationStats:
+    """Sample diminishing-returns triples and aggregate violation statistics."""
+    rng = np.random.default_rng(seed)
+    n = f.ground_set_size
+    gaps: list[float] = []
+    gains: list[float] = []
+    done = 0
+    if n >= 2:
+        for _ in range(trials):
+            y = _random_subset(rng, n)
+            outside = [e for e in range(n) if e not in y]
+            if not outside:
+                continue
+            s = int(rng.choice(outside))
+            members = sorted(y)
+            keep = rng.random(len(members)) < 0.5
+            x = frozenset(m for m, k in zip(members, keep) if k)
+            gain_x = f.evaluate(x | {s}) - f.evaluate(x)
+            gain_y = f.evaluate(y | {s}) - f.evaluate(y)
+            gains.extend((gain_x, gain_y))
+            gaps.append(max(0.0, gain_y - gain_x))
+            done += 1
+    violations = [g for g in gaps if g > tol]
+    return ViolationStats(
+        trials=done,
+        violation_rate=len(violations) / done if done else 0.0,
+        mean_gap=float(np.mean(violations)) if violations else 0.0,
+        max_gap=float(max(gaps)) if gaps else 0.0,
+        mean_marginal_gain=float(np.mean(np.abs(gains))) if gains else 0.0,
+    )
+
+
+def _all_subsets(n: int):
+    for r in range(n + 1):
+        for combo in itertools.combinations(range(n), r):
+            yield frozenset(combo)
+
+
+def _sub_subsets(y: frozenset[int]):
+    members = sorted(y)
+    for r in range(len(members) + 1):
+        for combo in itertools.combinations(members, r):
+            yield frozenset(combo)
+
+
+def _random_subset(rng: np.random.Generator, n: int) -> frozenset[int]:
+    mask = rng.random(n) < rng.random()
+    return frozenset(int(i) for i in np.flatnonzero(mask))

@@ -1,0 +1,130 @@
+"""Greedy maximization of monotone set functions under a cardinality
+constraint (Claim 1 / Nemhauser-Wolsey-Fisher).
+
+For monotone submodular ``f`` the greedy solution satisfies
+``f(S_greedy) ≥ (1 − 1/e) · OPT``.  ``lazy_greedy_maximize`` implements the
+Minoux accelerated variant, which returns the identical solution while
+skipping evaluations whose stale upper bounds already lose — an ablation
+the benchmarks quantify.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.submodular.set_function import CachedSetFunction, SetFunction
+
+__all__ = [
+    "GreedyResult",
+    "greedy_maximize",
+    "lazy_greedy_maximize",
+    "random_maximize",
+    "greedy_optimality_bound",
+]
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a constrained maximization run."""
+
+    selected: list[int]
+    value: float
+    trajectory: list[float] = field(default_factory=list)  # f after each pick
+    n_evaluations: int = 0
+
+
+def _validate_budget(budget: int) -> None:
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+
+
+def greedy_maximize(f: SetFunction, budget: int, tolerance: float = 1e-12) -> GreedyResult:
+    """Standard greedy: repeatedly add the element with best marginal gain.
+
+    Stops early when no element has a positive marginal gain (valid for
+    monotone ``f``, where gains are non-negative and zero gains add
+    nothing).
+    """
+    _validate_budget(budget)
+    cached = CachedSetFunction(f)
+    selected: list[int] = []
+    current = cached.evaluate(())
+    trajectory: list[float] = []
+    remaining = set(f.ground_set)
+    for _ in range(min(budget, f.ground_set_size)):
+        best_gain, best_elem = tolerance, None
+        for e in sorted(remaining):
+            gain = cached.evaluate(frozenset(selected) | {e}) - current
+            if gain > best_gain:
+                best_gain, best_elem = gain, e
+        if best_elem is None:
+            break
+        selected.append(best_elem)
+        remaining.discard(best_elem)
+        current += best_gain
+        trajectory.append(current)
+    return GreedyResult(selected, current, trajectory, cached.n_evaluations)
+
+
+def lazy_greedy_maximize(f: SetFunction, budget: int, tolerance: float = 1e-12) -> GreedyResult:
+    """Minoux's lazy greedy: identical output for submodular ``f``, fewer evals.
+
+    Maintains a max-heap of stale marginal-gain upper bounds; an element is
+    re-evaluated only when it reaches the top, and accepted immediately if
+    its fresh gain still dominates the next bound.
+    """
+    _validate_budget(budget)
+    cached = CachedSetFunction(f)
+    current = cached.evaluate(())
+    selected: list[int] = []
+    trajectory: list[float] = []
+    # heap entries: (-stale_gain, element)
+    heap = [(-float("inf"), e) for e in f.ground_set]
+    heapq.heapify(heap)
+    for _ in range(min(budget, f.ground_set_size)):
+        best_elem = None
+        while heap:
+            neg_stale, e = heapq.heappop(heap)
+            gain = cached.evaluate(frozenset(selected) | {e}) - current
+            if not heap or gain >= -heap[0][0] - 1e-15:
+                if gain > tolerance:
+                    best_elem, best_gain = e, gain
+                break
+            heapq.heappush(heap, (-gain, e))
+        if best_elem is None:
+            break
+        selected.append(best_elem)
+        current += best_gain
+        trajectory.append(current)
+    return GreedyResult(selected, current, trajectory, cached.n_evaluations)
+
+
+def random_maximize(f: SetFunction, budget: int, seed: int = 0) -> GreedyResult:
+    """Uniformly random subset of size ``budget`` — the naive baseline."""
+    _validate_budget(budget)
+    rng = np.random.default_rng(seed)
+    size = min(budget, f.ground_set_size)
+    selected = sorted(rng.choice(f.ground_set_size, size=size, replace=False)) if size else []
+    cached = CachedSetFunction(f)
+    value = cached.evaluate(selected)
+    return GreedyResult(list(selected), value, [value], cached.n_evaluations)
+
+
+def greedy_optimality_bound(f: SetFunction, selected: list[int], budget: int) -> float:
+    """Data-dependent upper bound on OPT for monotone submodular ``f``.
+
+    By submodularity, ``OPT ≤ f(S) + Σ of the ``budget`` largest marginal
+    gains of single elements on top of ``S``.  Comparing ``f(S)`` against
+    this bound certifies a concrete approximation ratio — usually far
+    better than the worst-case ``1 − 1/e``.
+    """
+    _validate_budget(budget)
+    base = f.evaluate(selected)
+    gains = sorted(
+        (f.evaluate(frozenset(selected) | {e}) - base for e in f.ground_set if e not in selected),
+        reverse=True,
+    )
+    return base + sum(g for g in gains[:budget] if g > 0)

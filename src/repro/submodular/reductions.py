@@ -1,0 +1,64 @@
+"""Proposition 1: NP-hardness of the attack problem via SUBSET-SUM.
+
+The appendix constructs an attack instance whose optimum decides SUBSET-SUM:
+embed each number ``s_i`` as ``v_i^{(0)} = [s_i, 0, ...]`` with the single
+replacement ``v_i^{(1)} = 0``, and ask for the best L2 approximation of the
+target ``v = [W, 0, ...]``.  Choosing which positions to "zero out" selects
+a subset of the numbers; the objective reaches its maximum value 0 exactly
+when some subset sums to ``W``.
+
+Note the appendix states the objective with an (evidently typographical)
+``arg max‖·‖²``; the reduction requires *minimizing* the approximation
+error, i.e. ``f(S) = max_{supp(l)⊆S} −‖Σ_i v_i^{(l_i)} − v‖²``, which is
+what we implement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.submodular.set_function import AttackSetFunction
+
+__all__ = ["subset_sum_attack_instance", "solve_subset_sum_via_attack"]
+
+
+def subset_sum_attack_instance(
+    numbers: Sequence[float], target: float
+) -> AttackSetFunction:
+    """Build the Proposition-1 attack set function for a SUBSET-SUM instance.
+
+    Position ``i`` keeps number ``numbers[i]`` (choice 0) or replaces it by
+    0 (choice 1).  ``f(S)`` is the negated squared distance between the
+    best achievable sum and ``target``; the instance is solvable iff
+    ``max_S f(S) = 0`` — equivalently iff ``f(full ground set) = 0``,
+    since ``f`` is monotone.
+    """
+    if len(numbers) == 0:
+        raise ValueError("SUBSET-SUM needs at least one number")
+    numbers = [float(x) for x in numbers]
+
+    def objective(l: tuple[int, ...]) -> float:
+        # l_i = 1 removes numbers[i] from the sum. The subset "summed" is
+        # the complement of the removed positions; kept positions use
+        # their original value.
+        total = sum(x for x, li in zip(numbers, l) if li == 0)
+        return -((total - target) ** 2)
+
+    return AttackSetFunction(objective, [2] * len(numbers))
+
+
+def solve_subset_sum_via_attack(numbers: Sequence[float], target: float) -> bool:
+    """Decide SUBSET-SUM by maximizing the attack set function exactly.
+
+    Exponential-time (it evaluates ``f`` on the full ground set, whose
+    inner maximum ranges over all 2^n transformations) — this is a
+    demonstration of the *equivalence*, not an efficient algorithm; the
+    point of Proposition 1 is that no polynomial algorithm exists unless
+    P = NP.
+
+    The convention follows the classical SUBSET-SUM problem, where the
+    empty subset solves ``target == 0``.
+    """
+    f = subset_sum_attack_instance(numbers, target)
+    best = f.evaluate(f.ground_set)
+    return bool(abs(best) < 1e-12)

@@ -1,0 +1,143 @@
+"""Set-function abstractions for the attack problem (paper Sec. 3.1).
+
+Problem 1 defines the attack set function
+
+    f(S) = max_{supp(l) ⊆ S} C_y(V(T_l(x))),
+
+the best achievable target-class output when only the feature positions in
+``S`` may be transformed.  :class:`AttackSetFunction` realizes this exactly
+by exhausting the inner maximum over the product of candidate choices —
+viable for the small ground sets used in the theory checks and the
+NP-hardness demonstration.  The practical attacks in :mod:`repro.attacks`
+use incremental greedy evaluations instead of materializing ``f``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable, Sequence
+
+__all__ = ["SetFunction", "CachedSetFunction", "AttackSetFunction", "ModularSetFunction"]
+
+
+class SetFunction:
+    """A real-valued function on subsets of ``{0, .., n-1}``."""
+
+    def __init__(self, ground_set_size: int) -> None:
+        if ground_set_size < 0:
+            raise ValueError("ground set size must be non-negative")
+        self.ground_set_size = ground_set_size
+
+    @property
+    def ground_set(self) -> range:
+        return range(self.ground_set_size)
+
+    def evaluate(self, subset: Iterable[int]) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, subset: Iterable[int]) -> float:
+        return self.evaluate(subset)
+
+    def marginal_gain(self, subset: Iterable[int], element: int) -> float:
+        """``f(S ∪ {e}) − f(S)``."""
+        s = frozenset(subset)
+        return self.evaluate(s | {element}) - self.evaluate(s)
+
+    def _validate(self, subset: frozenset[int]) -> None:
+        for e in subset:
+            if not 0 <= e < self.ground_set_size:
+                raise ValueError(f"element {e} outside ground set of size {self.ground_set_size}")
+
+
+class CachedSetFunction(SetFunction):
+    """Wraps a set function with memoization and an evaluation counter.
+
+    The counter records *underlying* evaluations (cache misses), which is
+    the complexity measure used when comparing naive vs lazy greedy.
+    """
+
+    def __init__(self, inner: SetFunction) -> None:
+        super().__init__(inner.ground_set_size)
+        self.inner = inner
+        self.n_evaluations = 0
+        self._cache: dict[frozenset[int], float] = {}
+
+    def evaluate(self, subset: Iterable[int]) -> float:
+        key = frozenset(subset)
+        if key not in self._cache:
+            self.n_evaluations += 1
+            self._cache[key] = self.inner.evaluate(key)
+        return self._cache[key]
+
+
+class AttackSetFunction(SetFunction):
+    """The exact Problem-1 set function over a transformation objective.
+
+    Parameters
+    ----------
+    objective:
+        ``objective(l)`` returns ``C_y(V(T_l(x)))`` for a transformation
+        index tuple ``l ∈ {0..k_i-1}^n`` (0 = keep the original feature).
+    num_candidates:
+        ``k_i`` per position: the number of choices *including* "keep".
+        Positions with ``k_i == 1`` have no replacements.
+    """
+
+    def __init__(
+        self,
+        objective: Callable[[tuple[int, ...]], float],
+        num_candidates: Sequence[int],
+    ) -> None:
+        super().__init__(len(num_candidates))
+        if any(k < 1 for k in num_candidates):
+            raise ValueError("each position needs at least the 'keep' candidate")
+        self.objective = objective
+        self.num_candidates = tuple(num_candidates)
+
+    def evaluate(self, subset: Iterable[int]) -> float:
+        s = frozenset(subset)
+        self._validate(s)
+        positions = sorted(s)
+        # Exhaust the inner maximum over the candidate product.  Including
+        # index 0 ("keep") for every attacked position makes f monotone by
+        # construction (Claim 1).
+        choice_ranges = [range(self.num_candidates[p]) for p in positions]
+        best = -float("inf")
+        best_l = None
+        for combo in itertools.product(*choice_ranges):
+            l = [0] * self.ground_set_size
+            for pos, choice in zip(positions, combo):
+                l[pos] = choice
+            value = self.objective(tuple(l))
+            if value > best:
+                best = value
+                best_l = tuple(l)
+        self._last_argmax = best_l
+        return best
+
+    def best_transformation(self, subset: Iterable[int]) -> tuple[int, ...]:
+        """The argmax transformation index for ``subset``."""
+        self.evaluate(subset)
+        return self._last_argmax
+
+
+class ModularSetFunction(SetFunction):
+    """``f(S) = base + Σ_{i∈S} w_i`` — the Proposition 2 relaxation."""
+
+    def __init__(self, weights: Sequence[float], base: float = 0.0) -> None:
+        super().__init__(len(weights))
+        self.weights = tuple(float(w) for w in weights)
+        self.base = float(base)
+
+    def evaluate(self, subset: Iterable[int]) -> float:
+        s = frozenset(subset)
+        self._validate(s)
+        return self.base + sum(self.weights[i] for i in s)
+
+    def maximize(self, budget: int) -> tuple[list[int], float]:
+        """Exact maximizer under ``|S| ≤ budget``: the top positive weights."""
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        ranked = sorted(range(self.ground_set_size), key=lambda i: -self.weights[i])
+        chosen = [i for i in ranked[:budget] if self.weights[i] > 0]
+        return chosen, self.evaluate(chosen)

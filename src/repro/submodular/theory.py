@@ -1,0 +1,107 @@
+"""Bridges from the Theorem 1/2 classifiers to attack set functions.
+
+Builds :class:`AttackSetFunction` instances whose objective is the output
+of a :class:`~repro.models.theory_models.SimplifiedWCNN` or
+:class:`~repro.models.theory_models.ScalarRNN` under word-vector
+transformations, enforcing (or deliberately violating) the theorems'
+candidate condition that every replacement increases the relevant inner
+products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.theory_models import ScalarRNN, SimplifiedWCNN
+from repro.submodular.set_function import AttackSetFunction
+
+__all__ = [
+    "wcnn_attack_set_function",
+    "rnn_attack_set_function",
+    "make_output_increasing_candidates_wcnn",
+    "make_output_increasing_candidates_rnn",
+]
+
+
+def _apply_transformation(
+    vectors: np.ndarray, candidates: list[list[np.ndarray]], l: tuple[int, ...]
+) -> np.ndarray:
+    out = vectors.copy()
+    for i, li in enumerate(l):
+        if li > 0:
+            out[i] = candidates[i][li - 1]
+    return out
+
+
+def wcnn_attack_set_function(
+    model: SimplifiedWCNN, vectors: np.ndarray, candidates: list[list[np.ndarray]]
+) -> AttackSetFunction:
+    """``f_WCNN(S) = max_{supp(l)⊆S} C_WCNN(V(T_l(x)))`` (Theorem 1)."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+
+    def objective(l: tuple[int, ...]) -> float:
+        return model.output(_apply_transformation(vectors, candidates, l))
+
+    return AttackSetFunction(objective, [len(c) + 1 for c in candidates])
+
+
+def rnn_attack_set_function(
+    model: ScalarRNN, vectors: np.ndarray, candidates: list[list[np.ndarray]]
+) -> AttackSetFunction:
+    """``f_RNN(S) = max_{supp(l)⊆S} C_RNN(V(T_l(x)))`` (Theorem 2)."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+
+    def objective(l: tuple[int, ...]) -> float:
+        return model.output(_apply_transformation(vectors, candidates, l))
+
+    return AttackSetFunction(objective, [len(c) + 1 for c in candidates])
+
+
+def make_output_increasing_candidates_wcnn(
+    model: SimplifiedWCNN,
+    vectors: np.ndarray,
+    k: int = 2,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> list[list[np.ndarray]]:
+    """Candidates satisfying Theorem 1's condition ``w_j·V(x^{(t)}) ≥ w_j·V(x)``.
+
+    Each candidate adds a non-negative combination of the filters to the
+    original vector, which raises every filter response simultaneously
+    (kernel_size must be 1 so each word maps to one window).
+    """
+    if model.kernel_size != 1:
+        raise ValueError("output-increasing construction assumes kernel_size == 1")
+    rng = np.random.default_rng(seed)
+    candidates: list[list[np.ndarray]] = []
+    for v in np.asarray(vectors, dtype=np.float64):
+        cands = []
+        for _ in range(k):
+            coeffs = rng.random(model.filters.shape[0]) * scale
+            cands.append(v + coeffs @ model.filters)
+        candidates.append(cands)
+    return candidates
+
+
+def make_output_increasing_candidates_rnn(
+    model: ScalarRNN,
+    vectors: np.ndarray,
+    k: int = 2,
+    scale: float = 0.5,
+    seed: int = 0,
+) -> list[list[np.ndarray]]:
+    """Candidates with ``m·V(x^{(t)}) ≥ m·V(x)`` (Theorem 2's WLOG regime).
+
+    Each candidate shifts the word vector along the input-weight direction
+    by a non-negative amount.
+    """
+    rng = np.random.default_rng(seed)
+    m = model.input_weights
+    norm_sq = float(m @ m)
+    if norm_sq == 0:
+        raise ValueError("input weights are all zero; candidates cannot increase m·v")
+    candidates: list[list[np.ndarray]] = []
+    for v in np.asarray(vectors, dtype=np.float64):
+        cands = [v + (rng.random() * scale) * m for _ in range(k)]
+        candidates.append(cands)
+    return candidates

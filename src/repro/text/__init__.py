@@ -1,0 +1,32 @@
+"""Text-processing substrate: tokenization, vocabulary, sentence splitting,
+n-gram language model, embeddings and Word Mover's Distance."""
+
+from repro.text.embeddings import (
+    PPMIEmbedder,
+    embedding_matrix_for_vocab,
+    synonym_clustered_embeddings,
+)
+from repro.text.ngram_lm import NGramLM
+from repro.text.sentence import join_sentences, split_sentences
+from repro.text.tokenizer import detokenize, tokenize
+from repro.text.vocab import PAD, UNK, Vocabulary
+from repro.text.wmd import relaxed_wmd, wmd, wmd_similarity, word_distance, word_similarity
+
+__all__ = [
+    "tokenize",
+    "detokenize",
+    "Vocabulary",
+    "PAD",
+    "UNK",
+    "split_sentences",
+    "join_sentences",
+    "NGramLM",
+    "synonym_clustered_embeddings",
+    "embedding_matrix_for_vocab",
+    "PPMIEmbedder",
+    "wmd",
+    "relaxed_wmd",
+    "wmd_similarity",
+    "word_distance",
+    "word_similarity",
+]

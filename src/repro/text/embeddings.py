@@ -1,0 +1,170 @@
+"""Word embeddings: synonym-clustered synthetic vectors and PPMI-SVD.
+
+The paper uses pretrained word2vec for the classifier embedding layer and
+Paragram-SL999 vectors to propose word paraphrases.  Offline we provide two
+substitutes:
+
+``synonym_clustered_embeddings``
+    Deterministic vectors in which all members of a synonym cluster are
+    small perturbations of a shared cluster center.  This reproduces the
+    geometry the attack depends on — paraphrase candidates are *close* in
+    embedding space (so they pass the WMD filter) but not identical (so the
+    classifier can be moved).
+
+``PPMIEmbedder``
+    Classic count-based embeddings (positive pointwise mutual information
+    followed by truncated SVD) trained on the actual corpus, used where a
+    corpus-derived embedding is preferable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+
+__all__ = ["synonym_clustered_embeddings", "PPMIEmbedder", "embedding_matrix_for_vocab"]
+
+
+def synonym_clustered_embeddings(
+    clusters: Sequence[Sequence[str]],
+    extra_words: Iterable[str] = (),
+    dim: int = 32,
+    cluster_radius: float = 0.15,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Generate vectors where words in a cluster are mutual near-neighbors.
+
+    Parameters
+    ----------
+    clusters:
+        Synonym sets; each gets one Gaussian cluster center of norm ~1 and
+        each member is ``center + radius * noise``.
+    extra_words:
+        Words outside any cluster; each gets its own isolated center.
+    dim:
+        Embedding dimensionality.
+    cluster_radius:
+        Relative within-cluster spread; controls how semantically "tight"
+        a synonym set is (and therefore how easily candidates pass a WMD
+        threshold).
+    seed:
+        RNG seed — the mapping is a pure function of its arguments.
+    """
+    if cluster_radius < 0:
+        raise ValueError("cluster_radius must be non-negative")
+    rng = np.random.default_rng(seed)
+    vectors: dict[str, np.ndarray] = {}
+    for cluster in clusters:
+        center = rng.normal(size=dim)
+        center /= np.linalg.norm(center)
+        for word in cluster:
+            noise = rng.normal(size=dim)
+            noise /= np.linalg.norm(noise)
+            vec = center + cluster_radius * noise
+            if word in vectors:
+                raise ValueError(f"word {word!r} appears in more than one cluster")
+            vectors[word] = vec
+    for word in extra_words:
+        if word in vectors:
+            continue
+        center = rng.normal(size=dim)
+        vectors[word] = center / np.linalg.norm(center)
+    return vectors
+
+
+def embedding_matrix_for_vocab(
+    vocab: Vocabulary,
+    vectors: dict[str, np.ndarray],
+    dim: int | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Assemble a ``(|V|, D)`` matrix aligned to ``vocab``.
+
+    The ``<pad>`` row is all-zero; words missing from ``vectors`` (including
+    ``<unk>``) get deterministic random vectors.
+    """
+    if dim is None:
+        if not vectors:
+            raise ValueError("dim must be given when vectors is empty")
+        dim = len(next(iter(vectors.values())))
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((len(vocab), dim))
+    for idx in range(1, len(vocab)):
+        word = vocab.word(idx)
+        if word in vectors:
+            matrix[idx] = vectors[word]
+        else:
+            fallback = rng.normal(size=dim)
+            matrix[idx] = fallback / np.linalg.norm(fallback)
+    return matrix
+
+
+class PPMIEmbedder:
+    """Count-based embeddings: PPMI matrix + truncated SVD.
+
+    A lightweight stand-in for word2vec (Levy & Goldberg 2014 showed
+    skip-gram with negative sampling implicitly factorizes a shifted PMI
+    matrix).
+    """
+
+    def __init__(self, dim: int = 32, window: int = 3) -> None:
+        if dim < 1 or window < 1:
+            raise ValueError("dim and window must be >= 1")
+        self.dim = dim
+        self.window = window
+        self.vectors: dict[str, np.ndarray] = {}
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "PPMIEmbedder":
+        """Train on tokenized documents; populates :attr:`vectors`."""
+        pair_counts: Counter[tuple[str, str]] = Counter()
+        word_counts: Counter[str] = Counter()
+        total_pairs = 0
+        for doc in documents:
+            doc = list(doc)
+            word_counts.update(doc)
+            for i, w in enumerate(doc):
+                lo = max(0, i - self.window)
+                hi = min(len(doc), i + self.window + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        pair_counts[(w, doc[j])] += 1
+                        total_pairs += 1
+        if not word_counts:
+            raise ValueError("cannot fit embeddings on an empty corpus")
+        words = sorted(word_counts)
+        index = {w: i for i, w in enumerate(words)}
+        n = len(words)
+        ppmi = np.zeros((n, n))
+        total_words = sum(word_counts.values())
+        for (a, b), c in pair_counts.items():
+            p_ab = c / total_pairs
+            p_a = word_counts[a] / total_words
+            p_b = word_counts[b] / total_words
+            val = np.log(p_ab / (p_a * p_b))
+            if val > 0:
+                ppmi[index[a], index[b]] = val
+        dim = min(self.dim, n)
+        u, s, _ = np.linalg.svd(ppmi, full_matrices=False)
+        emb = u[:, :dim] * np.sqrt(s[:dim])
+        if dim < self.dim:
+            emb = np.pad(emb, ((0, 0), (0, self.dim - dim)))
+        self.vectors = {w: emb[index[w]] for w in words}
+        return self
+
+    def __getitem__(self, word: str) -> np.ndarray:
+        return self.vectors[word]
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.vectors
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two in-vocabulary words."""
+        va, vb = self.vectors[a], self.vectors[b]
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denom == 0:
+            return 0.0
+        return float(va @ vb / denom)

@@ -1,0 +1,44 @@
+"""Sentence segmentation over token lists.
+
+Algorithm 1 of the paper first splits a document into sentences
+(``x → [s1, ..., sl]``) for the sentence-paraphrasing stage, then re-joins
+for the word stage.  We segment on terminal punctuation tokens, keeping the
+punctuation attached to its sentence so that joining the segments
+reconstructs the original token list exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["split_sentences", "join_sentences"]
+
+_TERMINALS = {".", "!", "?"}
+
+
+def split_sentences(tokens: Sequence[str]) -> list[list[str]]:
+    """Split a token list into sentences at terminal punctuation.
+
+    Invariant: ``join_sentences(split_sentences(t)) == list(t)``.
+
+    >>> split_sentences(["good", "food", ".", "bad", "service", "!"])
+    [['good', 'food', '.'], ['bad', 'service', '!']]
+    """
+    sentences: list[list[str]] = []
+    current: list[str] = []
+    for tok in tokens:
+        current.append(tok)
+        if tok in _TERMINALS:
+            sentences.append(current)
+            current = []
+    if current:
+        sentences.append(current)
+    return sentences
+
+
+def join_sentences(sentences: Sequence[Sequence[str]]) -> list[str]:
+    """Concatenate sentences back into a single token list."""
+    out: list[str] = []
+    for sent in sentences:
+        out.extend(sent)
+    return out

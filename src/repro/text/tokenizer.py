@@ -1,0 +1,39 @@
+"""Regex word tokenizer and detokenizer.
+
+The paper operates on word-level features (Sec. 3, Remark 1): a document is
+a list of words (possibly padded).  This tokenizer keeps the mapping between
+a raw string and its token list invertible enough for the attack to produce
+readable adversarial text.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize", "detokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?|[.,!?;:]")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and split ``text`` into word and punctuation tokens.
+
+    >>> tokenize("The food wasn't great, at all!")
+    ['the', 'food', "wasn't", 'great', ',', 'at', 'all', '!']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Join tokens back into a readable string.
+
+    Punctuation attaches to the previous token; everything else is
+    space-separated.
+    """
+    out: list[str] = []
+    for tok in tokens:
+        if tok in ".,!?;:" and out:
+            out[-1] += tok
+        else:
+            out.append(tok)
+    return " ".join(out)

@@ -1,0 +1,107 @@
+"""Vocabulary: word ↔ id mapping with frequency capping.
+
+Mirrors the paper's setup (Sec. 6.2): "We extracted the top 100,000 most
+frequent words to form the vocabulary."  Here the cap is configurable.  Two
+special tokens are always present: ``<pad>`` (id 0) for padding and ``<unk>``
+(id 1) for out-of-vocabulary words.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Vocabulary", "PAD", "UNK"]
+
+PAD = "<pad>"
+UNK = "<unk>"
+
+
+class Vocabulary:
+    """Immutable word ↔ integer-id mapping."""
+
+    def __init__(self, words: Sequence[str]) -> None:
+        specials = [PAD, UNK]
+        seen = set(specials)
+        ordered = list(specials)
+        for w in words:
+            if w not in seen:
+                seen.add(w)
+                ordered.append(w)
+        self._words: tuple[str, ...] = tuple(ordered)
+        self._ids: dict[str, int] = {w: i for i, w in enumerate(self._words)}
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        documents: Iterable[Sequence[str]],
+        max_size: int | None = None,
+        min_count: int = 1,
+    ) -> "Vocabulary":
+        """Build from tokenized documents, keeping the most frequent words.
+
+        ``max_size`` counts content words only (the two specials come on
+        top), matching the paper's "top-k most frequent words" recipe.
+        """
+        counts: Counter[str] = Counter()
+        for doc in documents:
+            counts.update(doc)
+        items = [(w, c) for w, c in counts.items() if c >= min_count]
+        items.sort(key=lambda wc: (-wc[1], wc[0]))
+        if max_size is not None:
+            items = items[:max_size]
+        return cls([w for w, _ in items])
+
+    # -- lookup --------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._ids
+
+    def id(self, word: str) -> int:
+        """Return the id of ``word``, or the <unk> id if absent."""
+        return self._ids.get(word, self.unk_id)
+
+    def word(self, idx: int) -> str:
+        return self._words[idx]
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        return self._words
+
+    # -- encoding ------------------------------------------------------------
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Map a token list to an int array."""
+        return np.array([self.id(t) for t in tokens], dtype=np.int64)
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        """Map ids back to tokens, dropping padding."""
+        return [self._words[i] for i in ids if i != self.pad_id]
+
+    def encode_batch(
+        self, documents: Sequence[Sequence[str]], max_len: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode documents into a padded ``(B, max_len)`` id matrix.
+
+        Documents longer than ``max_len`` are truncated.  Returns
+        ``(ids, mask)`` where ``mask`` is True at real-token positions.
+        """
+        batch = np.full((len(documents), max_len), self.pad_id, dtype=np.int64)
+        mask = np.zeros((len(documents), max_len), dtype=bool)
+        for i, doc in enumerate(documents):
+            ids = self.encode(doc[:max_len])
+            batch[i, : len(ids)] = ids
+            mask[i, : len(ids)] = True
+        return batch, mask

@@ -1,0 +1,229 @@
+"""Tests for the attack algorithms (Alg. 1-3 and baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    GradientGuidedGreedyAttack,
+    GradientWordAttack,
+    GreedySentenceAttack,
+    JointParaphraseAttack,
+    ObjectiveGreedyWordAttack,
+    RandomWordAttack,
+    count_word_changes,
+)
+from repro.attacks.base import AttackResult
+
+
+class TestAttackResultHelpers:
+    def test_count_word_changes_equal_length(self):
+        assert count_word_changes(["a", "b", "c"], ["a", "x", "c"]) == 1
+
+    def test_count_word_changes_length_difference(self):
+        assert count_word_changes(["a", "b"], ["a", "b", "c", "d"]) == 2
+
+    def test_count_word_changes_both(self):
+        assert count_word_changes(["a", "b"], ["x", "b", "c"]) == 2
+
+    def test_prob_gain(self):
+        r = AttackResult(["a"], ["b"], 1, 0.2, 0.6, True)
+        assert r.prob_gain == pytest.approx(0.4)
+
+
+class TestAttackValidation:
+    def test_empty_doc_rejected(self, victim, word_paraphraser):
+        atk = ObjectiveGreedyWordAttack(victim, word_paraphraser)
+        with pytest.raises(ValueError):
+            atk.attack([], 1)
+
+    def test_bad_target_rejected(self, victim, word_paraphraser):
+        atk = ObjectiveGreedyWordAttack(victim, word_paraphraser)
+        with pytest.raises(ValueError):
+            atk.attack(["a"], 2)
+
+    def test_bad_budget_ratio(self, victim, word_paraphraser):
+        with pytest.raises(ValueError):
+            ObjectiveGreedyWordAttack(victim, word_paraphraser, word_budget_ratio=1.5)
+        with pytest.raises(ValueError):
+            GradientGuidedGreedyAttack(victim, word_paraphraser, word_budget_ratio=-0.1)
+
+    def test_bad_tau(self, victim, word_paraphraser):
+        with pytest.raises(ValueError):
+            ObjectiveGreedyWordAttack(victim, word_paraphraser, tau=0.0)
+
+    def test_bad_selection(self, victim, word_paraphraser):
+        with pytest.raises(ValueError):
+            GradientGuidedGreedyAttack(victim, word_paraphraser, selection="psychic")
+
+    def test_bad_words_per_iteration(self, victim, word_paraphraser):
+        with pytest.raises(ValueError):
+            GradientGuidedGreedyAttack(victim, word_paraphraser, words_per_iteration=0)
+
+    def test_gradient_iterations(self, victim, word_paraphraser):
+        with pytest.raises(ValueError):
+            GradientWordAttack(victim, word_paraphraser, iterations=0)
+
+
+def _attack_invariants(result: AttackResult, doc, budget_ratio):
+    """Shared invariants every attack must satisfy."""
+    assert result.original == list(doc)
+    assert 0.0 <= result.adversarial_prob <= 1.0
+    assert result.n_queries >= 1
+    assert result.wall_time >= 0
+    # purely word-level attacks must respect the distinct-position budget;
+    # sentence paraphrases (joint / sentence attacks) may rewrite several
+    # words per sentence without consuming the word budget.
+    if "sentence" not in result.stages and len(result.adversarial) == len(doc):
+        n_changed = sum(a != b for a, b in zip(doc, result.adversarial))
+        assert n_changed <= max(1, int(budget_ratio * len(doc))) + 1
+
+
+ATTACK_FACTORIES = {
+    "objective-greedy": lambda m, wp, sp: ObjectiveGreedyWordAttack(m, wp, 0.2),
+    "gradient": lambda m, wp, sp: GradientWordAttack(m, wp, 0.2),
+    "gradient-guided": lambda m, wp, sp: GradientGuidedGreedyAttack(m, wp, 0.2),
+    "sentence": lambda m, wp, sp: GreedySentenceAttack(m, sp, 0.4),
+    "joint": lambda m, wp, sp: JointParaphraseAttack(m, wp, sp, 0.2, 0.4),
+    "random": lambda m, wp, sp: RandomWordAttack(m, wp, 0.2),
+}
+
+
+@pytest.mark.parametrize("name", list(ATTACK_FACTORIES))
+class TestAllAttacksShared:
+    def test_runs_and_respects_invariants(
+        self, name, victim, word_paraphraser, sentence_paraphraser, attackable_docs
+    ):
+        atk = ATTACK_FACTORIES[name](victim, word_paraphraser, sentence_paraphraser)
+        doc, target = attackable_docs[0]
+        result = atk.attack(doc, target)
+        _attack_invariants(result, doc, 0.2)
+
+    def test_never_decreases_target_probability(
+        self, name, victim, word_paraphraser, sentence_paraphraser, attackable_docs
+    ):
+        if name in ("random", "gradient"):
+            pytest.skip("one-shot baselines may decrease the objective")
+        atk = ATTACK_FACTORIES[name](victim, word_paraphraser, sentence_paraphraser)
+        for doc, target in attackable_docs[:4]:
+            result = atk.attack(doc, target)
+            assert result.adversarial_prob >= result.original_prob - 1e-9
+
+    def test_success_flag_consistent(
+        self, name, victim, word_paraphraser, sentence_paraphraser, attackable_docs
+    ):
+        atk = ATTACK_FACTORIES[name](victim, word_paraphraser, sentence_paraphraser)
+        doc, target = attackable_docs[1]
+        result = atk.attack(doc, target)
+        pred = victim.predict([result.adversarial])[0]
+        assert result.success == (pred == target)
+
+
+class TestGreedyWordAttack:
+    def test_improves_objective_on_most_docs(self, victim, word_paraphraser, attackable_docs):
+        atk = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        gains = [atk.attack(d, t).prob_gain for d, t in attackable_docs]
+        assert np.mean([g > 0 for g in gains]) > 0.7
+
+    def test_zero_budget_no_changes(self, victim, word_paraphraser, attackable_docs):
+        atk = ObjectiveGreedyWordAttack(victim, word_paraphraser, word_budget_ratio=0.0)
+        doc, target = attackable_docs[0]
+        result = atk.attack(doc, target)
+        assert result.adversarial == list(doc)
+
+    def test_larger_budget_at_least_as_good(self, victim, word_paraphraser, attackable_docs):
+        small = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.05)
+        large = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.3)
+        doc, target = attackable_docs[2]
+        assert large.attack(doc, target).adversarial_prob >= small.attack(doc, target).adversarial_prob - 1e-9
+
+
+class TestGradientGuidedAttack:
+    def test_stages_are_word(self, victim, word_paraphraser, attackable_docs):
+        atk = GradientGuidedGreedyAttack(victim, word_paraphraser, 0.2)
+        doc, target = attackable_docs[0]
+        result = atk.attack(doc, target)
+        assert set(result.stages) <= {"word"}
+
+    @pytest.mark.parametrize("selection", ["modular", "gs_norm", "random"])
+    def test_selection_variants_run(self, selection, victim, word_paraphraser, attackable_docs):
+        atk = GradientGuidedGreedyAttack(victim, word_paraphraser, 0.2, selection=selection)
+        doc, target = attackable_docs[0]
+        result = atk.attack(doc, target)
+        assert result.adversarial_prob >= result.original_prob - 1e-9
+
+    def test_uses_fewer_queries_than_objective_greedy(
+        self, victim, word_paraphraser, attackable_docs
+    ):
+        ours = GradientGuidedGreedyAttack(victim, word_paraphraser, 0.2, words_per_iteration=3)
+        greedy = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        q_ours = sum(ours.attack(d, t).n_queries for d, t in attackable_docs)
+        q_greedy = sum(greedy.attack(d, t).n_queries for d, t in attackable_docs)
+        assert q_ours < q_greedy
+
+    def test_prune_drops_freeloaders(self, victim, word_paraphraser, attackable_docs):
+        atk = GradientGuidedGreedyAttack(victim, word_paraphraser, 0.2)
+        doc, target = attackable_docs[0]
+        subs = {0: doc[0], 1: doc[1]}  # no-op "substitutions" add nothing
+        kept = atk._prune(subs, list(doc), atk._score(doc, target), target)
+        assert len(kept) <= len(subs)
+
+
+class TestSentenceAttack:
+    def test_sentence_budget_respected(self, victim, sentence_paraphraser, attackable_docs):
+        atk = GreedySentenceAttack(victim, sentence_paraphraser, sentence_budget_ratio=0.3)
+        doc, target = attackable_docs[0]
+        result = atk.attack(doc, target)
+        from repro.text.sentence import split_sentences
+
+        n_sentences = len(split_sentences(doc))
+        assert result.n_sentence_changes <= max(1, int(round(0.3 * n_sentences)))
+
+    def test_zero_budget_identity(self, victim, sentence_paraphraser, attackable_docs):
+        atk = GreedySentenceAttack(victim, sentence_paraphraser, sentence_budget_ratio=0.0)
+        doc, target = attackable_docs[0]
+        assert atk.attack(doc, target).adversarial == list(doc)
+
+
+class TestJointAttack:
+    def test_beats_word_only_on_average(
+        self, victim, word_paraphraser, sentence_paraphraser, attackable_docs
+    ):
+        word_only = GradientGuidedGreedyAttack(victim, word_paraphraser, 0.2)
+        joint = JointParaphraseAttack(victim, word_paraphraser, sentence_paraphraser, 0.2, 0.6)
+        w = np.mean([word_only.attack(d, t).adversarial_prob for d, t in attackable_docs])
+        j = np.mean([joint.attack(d, t).adversarial_prob for d, t in attackable_docs])
+        assert j >= w - 0.02  # sentence stage adds (or at worst matches)
+
+    def test_query_accounting_resets_between_docs(
+        self, victim, word_paraphraser, sentence_paraphraser, attackable_docs
+    ):
+        joint = JointParaphraseAttack(victim, word_paraphraser, sentence_paraphraser, 0.2, 0.4)
+        r1 = joint.attack(*attackable_docs[0])
+        r2 = joint.attack(*attackable_docs[0])
+        assert r1.n_queries == r2.n_queries  # deterministic & reset correctly
+
+    def test_stage_tags(self, victim, word_paraphraser, sentence_paraphraser, attackable_docs):
+        joint = JointParaphraseAttack(victim, word_paraphraser, sentence_paraphraser, 0.2, 0.6)
+        for doc, target in attackable_docs[:4]:
+            result = joint.attack(doc, target)
+            assert set(result.stages) <= {"sentence", "word"}
+
+
+class TestRandomAttack:
+    def test_reproducible(self, victim, word_paraphraser, attackable_docs):
+        doc, target = attackable_docs[0]
+        a = RandomWordAttack(victim, word_paraphraser, 0.2, seed=3).attack(doc, target)
+        b = RandomWordAttack(victim, word_paraphraser, 0.2, seed=3).attack(doc, target)
+        assert a.adversarial == b.adversarial
+
+    def test_zero_budget(self, victim, word_paraphraser, attackable_docs):
+        doc, target = attackable_docs[0]
+        r = RandomWordAttack(victim, word_paraphraser, 0.0).attack(doc, target)
+        assert r.adversarial == list(doc)
+
+    def test_weaker_than_greedy(self, victim, word_paraphraser, attackable_docs):
+        rand = RandomWordAttack(victim, word_paraphraser, 0.2)
+        greedy = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        r = np.mean([rand.attack(d, t).adversarial_prob for d, t in attackable_docs])
+        g = np.mean([greedy.attack(d, t).adversarial_prob for d, t in attackable_docs])
+        assert g >= r

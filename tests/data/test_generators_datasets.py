@@ -1,0 +1,173 @@
+"""Tests for synthetic corpus generators and dataset containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import Example, TextDataset
+from repro.data.generators import (
+    CorpusConfig,
+    SyntheticCorpusGenerator,
+    make_all_corpora,
+    make_news_corpus,
+    make_sentiment_corpus,
+    make_spam_corpus,
+)
+from repro.data.lexicon import NEG, POS, sentiment_lexicon
+
+SMALL = CorpusConfig(n_train=40, n_test=20, seed=7)
+
+
+class TestExample:
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            Example(("a",), 2)
+
+    def test_frozen(self):
+        ex = Example(("a",), 0)
+        with pytest.raises(AttributeError):
+            ex.label = 1
+
+
+class TestTextDataset:
+    def _ds(self):
+        train = [Example(("a", "b"), 0), Example(("c",), 1)]
+        test = [Example(("d", "e", "f"), 1)]
+        return TextDataset("toy", ("neg", "pos"), train, test)
+
+    def test_split_access(self):
+        ds = self._ds()
+        assert len(ds.split("train")) == 2
+        assert len(ds.split("test")) == 1
+
+    def test_bad_split(self):
+        with pytest.raises(KeyError):
+            self._ds().split("valid")
+
+    def test_documents_and_labels(self):
+        ds = self._ds()
+        assert ds.documents("train") == [["a", "b"], ["c"]]
+        np.testing.assert_array_equal(ds.labels("train"), [0, 1])
+
+    def test_statistics(self):
+        stats = self._ds().statistics()
+        assert stats["n_train"] == 2 and stats["n_test"] == 1
+        assert stats["vocab_size"] == 6
+        assert stats["max_length"] == 3
+
+    def test_subsample_reproducible(self):
+        ds = self._ds()
+        a = ds.subsample("train", 1, seed=4)
+        b = ds.subsample("train", 1, seed=4)
+        assert a == b
+
+    def test_subsample_larger_than_split(self):
+        ds = self._ds()
+        assert len(ds.subsample("train", 100)) == 2
+
+    def test_with_extra_train(self):
+        ds = self._ds()
+        bigger = ds.with_extra_train([Example(("z",), 0)])
+        assert len(bigger.train) == 3
+        assert len(ds.train) == 2  # original untouched
+
+    def test_wrong_class_count(self):
+        with pytest.raises(ValueError):
+            TextDataset("x", ("only-one",), [], [])
+
+
+class TestCorpusConfig:
+    def test_invalid_sentence_bounds(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(min_sentences=5, max_sentences=2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(signal_density=1.5)
+
+
+class TestGenerator:
+    def test_balanced_labels(self):
+        ds = make_sentiment_corpus(SMALL)
+        labels = ds.labels("train")
+        assert labels.sum() == len(labels) // 2
+
+    def test_deterministic(self):
+        a = make_sentiment_corpus(SMALL)
+        b = make_sentiment_corpus(SMALL)
+        assert a.documents("train") == b.documents("train")
+
+    def test_different_seeds_differ(self):
+        a = make_sentiment_corpus(CorpusConfig(n_train=20, n_test=4, seed=1))
+        b = make_sentiment_corpus(CorpusConfig(n_train=20, n_test=4, seed=2))
+        assert a.documents("train") != b.documents("train")
+
+    def test_every_document_carries_signal(self):
+        lex = sentiment_lexicon()
+        pos_words = {w for c in lex.clusters_by_polarity(POS) for w in c.words}
+        neg_words = {w for c in lex.clusters_by_polarity(NEG) for w in c.words}
+        ds = make_sentiment_corpus(SMALL)
+        for ex in ds.train:
+            toks = set(ex.tokens)
+            assert toks & (pos_words | neg_words)
+
+    def test_labels_match_dominant_signal(self):
+        # The majority of documents should have more same-class signal words
+        # than contrarian ones.
+        lex = sentiment_lexicon()
+        pos_words = {w for c in lex.clusters_by_polarity(POS) for w in c.words}
+        neg_words = {w for c in lex.clusters_by_polarity(NEG) for w in c.words}
+        ds = make_sentiment_corpus(CorpusConfig(n_train=100, n_test=10, seed=3))
+        agree = 0
+        for ex in ds.train:
+            pos = sum(t in pos_words for t in ex.tokens)
+            neg = sum(t in neg_words for t in ex.tokens)
+            predicted = 1 if pos > neg else 0
+            agree += predicted == ex.label
+        assert agree / len(ds.train) > 0.9
+
+    def test_canonical_words_dominate(self):
+        ds = make_sentiment_corpus(CorpusConfig(n_train=200, n_test=10, seed=5))
+        counts = {}
+        for ex in ds.train:
+            for t in ex.tokens:
+                counts[t] = counts.get(t, 0) + 1
+        # canonical "great" should be much more common than rare "superb"
+        assert counts.get("great", 0) > 2 * counts.get("superb", 0)
+
+    def test_lexicon_missing_polarity_raises(self):
+        from repro.data.lexicon import DomainLexicon, SynonymCluster
+
+        lex = DomainLexicon("bad", [SynonymCluster(("a",), POS)])
+        with pytest.raises(ValueError):
+            SyntheticCorpusGenerator(lex)
+
+    def test_document_length_within_bounds(self):
+        cfg = CorpusConfig(n_train=30, n_test=5, min_sentences=2, max_sentences=3, seed=9)
+        ds = make_news_corpus(cfg)
+        for ex in ds.train:
+            # max 4 sentences (3 + the guaranteed-signal fallback), each <= 10 tokens
+            assert 2 * 4 <= len(ex.tokens) <= 4 * 10
+
+    def test_all_corpora_names(self):
+        corpora = make_all_corpora(SMALL)
+        assert set(corpora) == {"news", "trec07p", "yelp"}
+        assert corpora["yelp"].class_names == ("negative", "positive")
+        assert corpora["news"].class_names == ("real", "fake")
+        assert corpora["trec07p"].class_names == ("ham", "spam")
+
+    def test_statistics_table6_fields(self):
+        ds = make_spam_corpus(SMALL)
+        stats = ds.statistics()
+        for key in ("task", "n_train", "n_test", "vocab_size", "avg_length"):
+            assert key in stats
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1), st.integers(0, 10_000))
+def test_property_sampled_document_nonempty_and_labeled(label, seed):
+    gen = SyntheticCorpusGenerator(sentiment_lexicon(), SMALL)
+    ex = gen.sample_document(label, np.random.default_rng(seed))
+    assert ex.label == label
+    assert len(ex.tokens) >= 4

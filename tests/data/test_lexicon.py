@@ -1,0 +1,91 @@
+"""Tests for synonym clusters and domain lexicons."""
+
+import pytest
+
+from repro.data.lexicon import (
+    NEG,
+    POS,
+    DomainLexicon,
+    SynonymCluster,
+    news_lexicon,
+    sentiment_lexicon,
+    spam_lexicon,
+)
+
+
+class TestSynonymCluster:
+    def test_canonical_is_first(self):
+        c = SynonymCluster(("good", "great"), POS)
+        assert c.canonical == "good"
+
+    def test_alternatives_exclude_self(self):
+        c = SynonymCluster(("a", "b", "c"))
+        assert c.alternatives("b") == ("a", "c")
+
+    def test_alternatives_unknown_word(self):
+        c = SynonymCluster(("a",))
+        with pytest.raises(KeyError):
+            c.alternatives("z")
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            SynonymCluster(())
+
+    def test_bad_polarity_raises(self):
+        with pytest.raises(ValueError):
+            SynonymCluster(("a",), "happy")
+
+    def test_duplicate_words_raise(self):
+        with pytest.raises(ValueError):
+            SynonymCluster(("a", "a"))
+
+
+class TestDomainLexicon:
+    def test_cluster_of(self):
+        lex = sentiment_lexicon()
+        c = lex.cluster_of("great")
+        assert c is not None and c.polarity == POS
+
+    def test_cluster_of_unknown(self):
+        assert sentiment_lexicon().cluster_of("zzz") is None
+
+    def test_synonyms(self):
+        lex = sentiment_lexicon()
+        syns = lex.synonyms("great")
+        assert "wonderful" in syns and "great" not in syns
+
+    def test_synonyms_unknown_empty(self):
+        assert sentiment_lexicon().synonyms("zzz") == ()
+
+    def test_duplicate_across_clusters_raises(self):
+        with pytest.raises(ValueError):
+            DomainLexicon("x", [SynonymCluster(("a", "b")), SynonymCluster(("b", "c"))])
+
+    def test_word_cluster_lists_cover_all_clustered_words(self):
+        lex = spam_lexicon()
+        flat = {w for c in lex.word_cluster_lists() for w in c}
+        assert "free" in flat and "patch" in flat
+
+    def test_all_words_include_function_words(self):
+        assert "the" in news_lexicon().all_words()
+
+
+@pytest.mark.parametrize("factory", [sentiment_lexicon, news_lexicon, spam_lexicon])
+class TestDomainLexiconsWellFormed:
+    def test_has_both_polarities(self, factory):
+        lex = factory()
+        assert len(lex.clusters_by_polarity(POS)) >= 5
+        assert len(lex.clusters_by_polarity(NEG)) >= 5
+        assert len(lex.clusters_by_polarity("neutral")) >= 5
+
+    def test_no_duplicate_words(self, factory):
+        lex = factory()
+        clustered = [w for c in lex.clusters for w in c.words]
+        assert len(clustered) == len(set(clustered))
+
+    def test_every_cluster_has_synonym_candidates(self, factory):
+        # Signal clusters must offer at least one paraphrase per word,
+        # otherwise the word-level attack has no candidates.
+        lex = factory()
+        for c in lex.clusters_by_polarity(POS) + lex.clusters_by_polarity(NEG):
+            assert len(c.words) >= 2

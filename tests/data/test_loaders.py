@@ -1,0 +1,129 @@
+"""Tests for the CSV/JSONL corpus loaders."""
+
+import json
+
+import pytest
+
+from repro.data.loaders import load_csv_dataset, load_jsonl_dataset, split_examples
+from repro.data.datasets import Example
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "reviews.csv"
+    rows = [
+        "text,label",
+        '"The food was great!",positive',
+        '"Terrible, avoid.",negative',
+        '"Loved the service",1',
+        '"awful experience",0',
+        '"",positive',  # empty text skipped
+    ]
+    path.write_text("\n".join(rows), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def jsonl_file(tmp_path):
+    path = tmp_path / "reviews.jsonl"
+    records = [
+        {"text": "great food", "label": 1},
+        {"text": "bad food", "label": "negative"},
+        {"text": "fine place", "label": "positive"},
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in records), encoding="utf-8")
+    return path
+
+
+class TestSplit:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            split_examples([Example(("a",), 0)], test_fraction=0.0)
+
+    def test_partition(self):
+        examples = [Example((str(i),), i % 2) for i in range(10)]
+        train, test = split_examples(examples, 0.3, seed=1)
+        assert len(train) + len(test) == 10
+        assert len(test) == 3
+        assert set(train) | set(test) == set(examples)
+
+    def test_deterministic(self):
+        examples = [Example((str(i),), i % 2) for i in range(10)]
+        a = split_examples(examples, 0.2, seed=5)
+        b = split_examples(examples, 0.2, seed=5)
+        assert a == b
+
+
+class TestCsvLoader:
+    def test_loads_and_tokenizes(self, csv_file):
+        ds = load_csv_dataset(csv_file, "reviews", ("negative", "positive"), seed=0)
+        all_examples = ds.train + ds.test
+        assert len(all_examples) == 4  # empty row skipped
+        tokens = {t for ex in all_examples for t in ex.tokens}
+        assert "great" in tokens and "!" in tokens
+
+    def test_label_coercion(self, csv_file):
+        ds = load_csv_dataset(csv_file, "r", ("negative", "positive"))
+        labels = sorted(ex.label for ex in ds.train + ds.test)
+        assert labels == [0, 0, 1, 1]
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("body,label\nx,1\n")
+        with pytest.raises(ValueError):
+            load_csv_dataset(path, "r", ("a", "b"))
+
+    def test_bad_label(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("text,label\nhello,maybe\n")
+        with pytest.raises(ValueError):
+            load_csv_dataset(path, "r", ("a", "b"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("text,label\n")
+        with pytest.raises(ValueError):
+            load_csv_dataset(path, "r", ("a", "b"))
+
+
+class TestJsonlLoader:
+    def test_loads(self, jsonl_file):
+        ds = load_jsonl_dataset(jsonl_file, "reviews", ("negative", "positive"))
+        assert len(ds.train) + len(ds.test) == 3
+
+    def test_mixed_label_formats(self, jsonl_file):
+        ds = load_jsonl_dataset(jsonl_file, "r", ("negative", "positive"))
+        labels = sorted(ex.label for ex in ds.train + ds.test)
+        assert labels == [0, 1, 1]
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"body": "x", "label": 1}\n')
+        with pytest.raises(ValueError):
+            load_jsonl_dataset(path, "r", ("a", "b"))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text('{"text": "hello there", "label": 1}\n\n{"text": "bye now", "label": 0}\n')
+        ds = load_jsonl_dataset(path, "r", ("a", "b"))
+        assert len(ds.train) + len(ds.test) == 2
+
+
+class TestEndToEndOnLoadedData:
+    def test_train_and_attack_loaded_corpus(self, tmp_path):
+        # a small separable corpus through the full pipeline
+        rows = ["text,label"]
+        for i in range(40):
+            rows.append(f'"sample {i} great wonderful food",1')
+            rows.append(f'"sample {i} terrible awful service",0')
+        path = tmp_path / "corpus.csv"
+        path.write_text("\n".join(rows), encoding="utf-8")
+        ds = load_csv_dataset(path, "custom", ("neg", "pos"), test_fraction=0.25, seed=0)
+
+        from repro.models import WCNN, TrainConfig, evaluate, fit
+        from repro.text import Vocabulary
+
+        vocab = Vocabulary.build(ds.documents("train"))
+        model = WCNN(vocab, max_len=16, embedding_dim=8, num_filters=8, seed=0)
+        fit(model, ds.train, TrainConfig(epochs=6, seed=0))
+        assert evaluate(model, ds.test) >= 0.9

@@ -1,0 +1,71 @@
+"""Tests for the randomized synonym-smoothing defense."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import ObjectiveGreedyWordAttack
+from repro.defense.smoothing import SmoothedClassifier
+
+
+@pytest.fixture(scope="module")
+def smoothed(victim, atk_lexicon):
+    return SmoothedClassifier(victim, atk_lexicon, n_samples=7, substitution_prob=0.3, seed=0)
+
+
+class TestConstruction:
+    def test_invalid_samples(self, victim, atk_lexicon):
+        with pytest.raises(ValueError):
+            SmoothedClassifier(victim, atk_lexicon, n_samples=0)
+
+    def test_invalid_prob(self, victim, atk_lexicon):
+        with pytest.raises(ValueError):
+            SmoothedClassifier(victim, atk_lexicon, substitution_prob=1.5)
+
+    def test_gradient_blocked(self, smoothed):
+        with pytest.raises(NotImplementedError):
+            smoothed.embedding_gradient(["great"], 1)
+
+    def test_passthroughs(self, smoothed, victim):
+        assert smoothed.vocab is victim.vocab
+        assert smoothed.max_len == victim.max_len
+        assert smoothed.embedding is victim.embedding
+
+
+class TestSmoothing:
+    def test_proba_simplex(self, smoothed, atk_corpus):
+        probs = smoothed.predict_proba(atk_corpus.documents("test")[:4])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_deterministic_per_document(self, smoothed, atk_corpus):
+        doc = atk_corpus.documents("test")[0]
+        a = smoothed.predict_proba([doc])
+        b = smoothed.predict_proba([doc])
+        np.testing.assert_array_equal(a, b)
+
+    def test_single_sample_equals_base_model(self, victim, atk_lexicon, atk_corpus):
+        smooth1 = SmoothedClassifier(victim, atk_lexicon, n_samples=1)
+        docs = atk_corpus.documents("test")[:5]
+        np.testing.assert_allclose(
+            smooth1.predict_proba(docs), victim.predict_proba(docs), atol=1e-12
+        )
+
+    def test_clean_accuracy_mostly_preserved(self, smoothed, victim, atk_corpus):
+        docs = atk_corpus.documents("test")
+        labels = atk_corpus.labels("test")
+        base = victim.accuracy(docs, labels)
+        smooth = smoothed.accuracy(docs, labels)
+        assert smooth >= base - 0.1
+
+    def test_accuracy_empty_raises(self, smoothed):
+        with pytest.raises(ValueError):
+            smoothed.accuracy([], np.array([]))
+
+
+class TestSmoothingAsDefense:
+    def test_reduces_attack_success(self, victim, smoothed, word_paraphraser, attackable_docs):
+        base_attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        smooth_attack = ObjectiveGreedyWordAttack(smoothed, word_paraphraser, 0.2)
+        base_wins = sum(base_attack.attack(d, t).success for d, t in attackable_docs)
+        smooth_wins = sum(smooth_attack.attack(d, t).success for d, t in attackable_docs)
+        # smoothing should not make the attack strictly easier
+        assert smooth_wins <= base_wins + 1

@@ -1,0 +1,90 @@
+"""Tests for the results-artifact writer."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.eval.artifacts import ResultsWriter, rows_to_records, write_csv, write_json
+
+
+@dataclass
+class Inner:
+    x: float
+    y: float
+
+
+@dataclass
+class Row:
+    name: str
+    value: float
+    inner: Inner
+
+
+ROWS = [Row("a", 1.0, Inner(0.1, 0.2)), Row("b", 2.0, Inner(0.3, 0.4))]
+
+
+class TestRecords:
+    def test_dataclass_flattening(self):
+        records = rows_to_records(ROWS)
+        assert records[0] == {"name": "a", "value": 1.0, "inner.x": 0.1, "inner.y": 0.2}
+
+    def test_dicts_pass_through(self):
+        assert rows_to_records([{"k": 1}]) == [{"k": 1}]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            rows_to_records([object()])
+
+
+class TestWriters:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(ROWS, path, metadata={"experiment": "t"})
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["experiment"] == "t"
+        assert payload["rows"][1]["inner.y"] == 0.4
+
+    def test_csv_columns(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(ROWS, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "name,value,inner.x,inner.y"
+        assert len(lines) == 3
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "out.csv")
+
+    def test_numpy_values_jsonable(self, tmp_path):
+        import numpy as np
+
+        write_json([{"v": np.float64(0.5)}], tmp_path / "np.json")
+        payload = json.loads((tmp_path / "np.json").read_text())
+        assert payload["rows"][0]["v"] == 0.5
+
+    def test_creates_parent_dirs(self, tmp_path):
+        nested = tmp_path / "deep" / "down" / "out.json"
+        write_json(ROWS, nested)
+        assert nested.exists()
+
+
+class TestResultsWriter:
+    def test_save_writes_both_formats(self, tmp_path):
+        writer = ResultsWriter(tmp_path / "results")
+        json_path = writer.save("table2", ROWS, note="hello")
+        assert json_path.exists()
+        assert (tmp_path / "results" / "table2.csv").exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["metadata"]["note"] == "hello"
+        assert "generated_at" in payload["metadata"]
+
+    def test_experiment_rows_serialize(self, tmp_path):
+        # real experiment row types must flatten cleanly
+        from repro.experiments.table2 import Table2Row
+
+        rows = [Table2Row("yelp", "wcnn", 0.99, 0.4, 0.5)]
+        writer = ResultsWriter(tmp_path)
+        path = writer.save("t2", rows)
+        payload = json.loads(path.read_text())
+        assert payload["rows"][0]["dataset"] == "yelp"

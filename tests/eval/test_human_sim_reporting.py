@@ -1,0 +1,121 @@
+"""Tests for the simulated human evaluation and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusConfig, make_sentiment_corpus
+from repro.eval.human_sim import (
+    SimulatedAnnotator,
+    default_annotator_pool,
+    run_human_evaluation,
+)
+from repro.eval.reporting import (
+    format_markdown_table,
+    format_percent,
+    format_seconds,
+    format_table,
+)
+from repro.models.bow import BowClassifier
+from repro.text import NGramLM, Vocabulary
+
+
+@pytest.fixture(scope="module")
+def sim_setup():
+    ds = make_sentiment_corpus(CorpusConfig(n_train=150, n_test=40, seed=77))
+    vocab = Vocabulary.build(ds.documents("train"))
+    oracle = BowClassifier(vocab, seed=2).fit(
+        ds.documents("train"), ds.labels("train"), epochs=120, lr=0.1
+    )
+    lm = NGramLM(order=2, alpha=0.2).fit(ds.documents("train"))
+    return ds, oracle, lm
+
+
+class TestSimulatedAnnotator:
+    def test_invalid_label_noise(self, sim_setup):
+        _, oracle, lm = sim_setup
+        with pytest.raises(ValueError):
+            SimulatedAnnotator(oracle, lm, label_noise=0.9)
+
+    def test_label_returns_binary(self, sim_setup):
+        ds, oracle, lm = sim_setup
+        a = SimulatedAnnotator(oracle, lm, seed=0)
+        assert a.label(ds.documents("test")[0]) in (0, 1)
+
+    def test_zero_noise_matches_oracle(self, sim_setup):
+        ds, oracle, lm = sim_setup
+        a = SimulatedAnnotator(oracle, lm, label_noise=0.0, seed=0)
+        doc = ds.documents("test")[0]
+        assert a.label(doc) == int(oracle.predict([doc])[0])
+
+    def test_rating_in_range(self, sim_setup):
+        ds, oracle, lm = sim_setup
+        a = SimulatedAnnotator(oracle, lm, seed=0)
+        for doc in ds.documents("test")[:10]:
+            assert 1.0 <= a.rate_naturalness(doc) <= 5.0
+
+    def test_fluent_text_rated_above_garbage(self, sim_setup):
+        ds, oracle, lm = sim_setup
+        a = SimulatedAnnotator(oracle, lm, rating_noise=0.0, seed=0)
+        fluent = ds.documents("test")[0]
+        garbage = ["zz1", "qq2", "xx3"] * 5
+        assert a.rate_naturalness(fluent) > a.rate_naturalness(garbage)
+
+
+class TestRunHumanEvaluation:
+    def test_validation(self, sim_setup):
+        ds, oracle, lm = sim_setup
+        pool = default_annotator_pool(oracle, lm)
+        with pytest.raises(ValueError):
+            run_human_evaluation([], np.array([]), pool)
+        with pytest.raises(ValueError):
+            run_human_evaluation([["a"]], np.array([0, 1]), pool)
+        with pytest.raises(ValueError):
+            run_human_evaluation([["a"]], np.array([0]), [])
+
+    def test_high_accuracy_on_clean_text(self, sim_setup):
+        ds, oracle, lm = sim_setup
+        pool = default_annotator_pool(oracle, lm, seed=0)
+        docs = ds.documents("test")
+        result = run_human_evaluation(docs, ds.labels("test"), pool)
+        assert result.label_accuracy >= 0.8  # majority vote denoises
+        assert result.n_texts == len(docs)
+
+    def test_pool_size(self, sim_setup):
+        _, oracle, lm = sim_setup
+        assert len(default_annotator_pool(oracle, lm, n=7)) == 7
+
+    def test_result_row(self, sim_setup):
+        ds, oracle, lm = sim_setup
+        pool = default_annotator_pool(oracle, lm)
+        result = run_human_evaluation(ds.documents("test")[:5], ds.labels("test")[:5], pool)
+        row = result.as_row()
+        assert set(row) == {"task1_accuracy", "task2_mean", "task2_std"}
+
+
+class TestReporting:
+    def test_format_percent(self):
+        assert format_percent(0.354) == "35.4%"
+        assert format_percent(1.0, 0) == "100%"
+
+    def test_format_seconds(self):
+        assert format_seconds(0.1234) == "0.123s"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbb"], [["x", 1], ["yy", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert "2.500" in out
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_markdown(self):
+        out = format_markdown_table(["h1", "h2"], [["a", "b"]])
+        assert out.splitlines()[0] == "| h1 | h2 |"
+        assert "| a | b |" in out
+
+    def test_markdown_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [["x"]])

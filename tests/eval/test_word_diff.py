@@ -1,0 +1,60 @@
+"""Tests for the word-diff renderer used by the Figure-1 gallery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.reporting import render_word_diff
+
+
+class TestEqualLength:
+    def test_identical(self):
+        assert render_word_diff(["a", "b"], ["a", "b"]) == "a b"
+
+    def test_substitution_marked(self):
+        out = render_word_diff(["the", "great", "food"], ["the", "superb", "food"])
+        assert out == "the [great -> superb] food"
+
+    def test_multiple_substitutions(self):
+        out = render_word_diff(["a", "b", "c"], ["x", "b", "y"])
+        assert "[a -> x]" in out and "[c -> y]" in out
+
+
+class TestLengthChanging:
+    def test_deletion(self):
+        out = render_word_diff(["it", "was", "very", "good"], ["it", "was", "good"])
+        assert out == "it was {-very-} good"
+
+    def test_insertion(self):
+        out = render_word_diff(["it", "was", "good"], ["it", "was", "really", "good"])
+        assert out == "it was {+really+} good"
+
+    def test_reorder_renders_both_sides(self):
+        out = render_word_diff(["b", "and", "a"], ["a", "and", "b", "c"])
+        assert "{+c+}" in out
+
+    def test_empty_to_tokens(self):
+        assert render_word_diff([], ["x"]) == "{+x+}"
+        assert render_word_diff(["x"], []) == "{-x-}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=8),
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=8),
+)
+def test_property_diff_reconstructs_both_sequences(original, adversarial):
+    out = render_word_diff(original, adversarial).split()
+    rebuilt_original, rebuilt_adv = [], []
+    for part in out:
+        if part.startswith("[") or "->" in part or part.endswith("]"):
+            continue  # substitution tokens handled below
+        if part.startswith("{-"):
+            rebuilt_original.append(part[2:-2])
+        elif part.startswith("{+"):
+            rebuilt_adv.append(part[2:-2])
+        else:
+            rebuilt_original.append(part)
+            rebuilt_adv.append(part)
+    if len(original) != len(adversarial):
+        assert rebuilt_original == original
+        assert rebuilt_adv == adversarial

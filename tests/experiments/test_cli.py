@@ -1,0 +1,41 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import _ARTIFACTS, main
+
+
+class TestCli:
+    def test_artifact_registry_complete(self):
+        assert set(_ARTIFACTS) == {
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "figure1",
+            "figure4",
+            "appendix",
+        }
+
+    def test_runs_cheap_artifact(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Spam filtering" in out
+        assert "table6 done" in out
+
+    def test_save_writes_artifacts(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        results = tmp_path / "results"
+        assert main(["table6", "--save", str(results)]) == 0
+        assert (results / "table6.json").exists()
+        assert (results / "table6.csv").exists()
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_requires_at_least_one(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,49 @@
+"""Shared numerical gradient-checking helper for autograd tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_grad(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def assert_grad_matches(
+    build: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-6,
+    rtol: float = 1e-5,
+) -> None:
+    """Check autograd gradient of ``build(x).sum()`` against finite differences."""
+    x = np.asarray(x, dtype=np.float64)
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    scalar = out.sum() if out.size > 1 else out
+    scalar.backward()
+    assert t.grad is not None
+
+    def f(arr: np.ndarray) -> float:
+        out = build(Tensor(arr))
+        return float(out.data.sum())
+
+    num = numerical_grad(f, x.copy())
+    np.testing.assert_allclose(t.grad, num, atol=atol, rtol=rtol)

@@ -1,0 +1,45 @@
+"""Shared fixtures: a tiny sentiment corpus and trained models."""
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusConfig, make_sentiment_corpus, sentiment_lexicon
+from repro.models import LSTMClassifier, TrainConfig, WCNN, fit
+from repro.text import Vocabulary, embedding_matrix_for_vocab, synonym_clustered_embeddings
+
+MAX_LEN = 72
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    return make_sentiment_corpus(CorpusConfig(n_train=240, n_test=60, seed=11))
+
+
+@pytest.fixture(scope="session")
+def tiny_vocab(tiny_corpus):
+    return Vocabulary.build(tiny_corpus.documents("train"))
+
+
+@pytest.fixture(scope="session")
+def tiny_embeddings(tiny_vocab):
+    lex = sentiment_lexicon()
+    vecs = synonym_clustered_embeddings(
+        lex.word_cluster_lists(), extra_words=lex.function_words, dim=16, cluster_radius=0.4
+    )
+    return embedding_matrix_for_vocab(tiny_vocab, vecs, dim=16)
+
+
+@pytest.fixture(scope="session")
+def trained_wcnn(tiny_corpus, tiny_vocab, tiny_embeddings):
+    model = WCNN(tiny_vocab, MAX_LEN, pretrained_embeddings=tiny_embeddings, num_filters=24, seed=0)
+    fit(model, tiny_corpus.train, TrainConfig(epochs=8, seed=0))
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_lstm(tiny_corpus, tiny_vocab, tiny_embeddings):
+    model = LSTMClassifier(
+        tiny_vocab, MAX_LEN, pretrained_embeddings=tiny_embeddings, hidden_dim=24, seed=0
+    )
+    fit(model, tiny_corpus.train, TrainConfig(epochs=8, seed=0))
+    return model

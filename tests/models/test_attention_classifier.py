@@ -1,0 +1,47 @@
+"""Tests for the self-attention classifier extension."""
+
+import numpy as np
+import pytest
+
+from repro.models import AttentionClassifier, TrainConfig, evaluate, fit
+
+
+class TestAttentionClassifier:
+    def test_invalid_blocks(self, tiny_vocab):
+        with pytest.raises(ValueError):
+            AttentionClassifier(tiny_vocab, 72, num_blocks=0)
+
+    def test_trains(self, tiny_corpus, tiny_vocab, tiny_embeddings):
+        model = AttentionClassifier(
+            tiny_vocab, 72, pretrained_embeddings=tiny_embeddings, num_blocks=1, seed=0
+        )
+        fit(model, tiny_corpus.train, TrainConfig(epochs=6, seed=0))
+        assert evaluate(model, tiny_corpus.test) >= 0.8
+
+    def test_padding_isolated(self, tiny_corpus, tiny_vocab, tiny_embeddings):
+        model = AttentionClassifier(
+            tiny_vocab, 72, pretrained_embeddings=tiny_embeddings, num_blocks=1, seed=0
+        )
+        docs = tiny_corpus.documents("test")
+        short, long = docs[0], max(docs, key=len)
+        alone = model.predict_proba([short])
+        together = model.predict_proba([short, long])
+        np.testing.assert_allclose(alone[0], together[0], atol=1e-9)
+
+    def test_embedding_gradient(self, tiny_vocab, tiny_embeddings, tiny_corpus):
+        model = AttentionClassifier(
+            tiny_vocab, 72, pretrained_embeddings=tiny_embeddings, num_blocks=1, seed=0
+        )
+        doc = tiny_corpus.documents("test")[0][:8]
+        g = model.embedding_gradient(doc, 1)
+        assert g.shape == (8, tiny_embeddings.shape[1])
+        assert np.all(np.isfinite(g))
+
+    def test_position_encodings_matter(self, tiny_vocab, tiny_embeddings):
+        model = AttentionClassifier(
+            tiny_vocab, 72, pretrained_embeddings=tiny_embeddings, num_blocks=1, seed=0
+        )
+        a = model.predict_proba([["great", "not"]])
+        b = model.predict_proba([["not", "great"]])
+        # with positional information, order can change the output
+        assert not np.allclose(a, b)

@@ -1,0 +1,166 @@
+"""Tests for the bag-of-words classifier and the theoretical models."""
+
+import numpy as np
+import pytest
+
+from repro.models.bow import BowClassifier
+from repro.models.theory_models import (
+    CONCAVE_ACTIVATIONS,
+    ScalarRNN,
+    SimplifiedWCNN,
+)
+from repro.text import Vocabulary
+
+
+class TestBowClassifier:
+    def test_featurize_normalized(self):
+        vocab = Vocabulary(["a", "b"])
+        bow = BowClassifier(vocab)
+        feats = bow.featurize([["a", "a", "b"]])
+        np.testing.assert_allclose(feats.sum(axis=1), 1.0)
+        assert feats[0, vocab.id("a")] == pytest.approx(2 / 3)
+
+    def test_featurize_empty_doc(self):
+        bow = BowClassifier(Vocabulary(["a"]))
+        feats = bow.featurize([[]])
+        np.testing.assert_array_equal(feats, 0.0)
+
+    def test_fit_separable(self, tiny_corpus, tiny_vocab):
+        bow = BowClassifier(tiny_vocab).fit(
+            tiny_corpus.documents("train"), tiny_corpus.labels("train"), epochs=150, lr=0.1
+        )
+        acc = bow.accuracy(tiny_corpus.documents("test"), tiny_corpus.labels("test"))
+        assert acc >= 0.9
+
+    def test_predict_proba_simplex(self, tiny_vocab):
+        bow = BowClassifier(tiny_vocab)
+        probs = bow.predict_proba([["a"], ["b"]])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_accuracy_empty_raises(self, tiny_vocab):
+        with pytest.raises(ValueError):
+            BowClassifier(tiny_vocab).accuracy([], np.array([]))
+
+
+class TestSimplifiedWCNN:
+    def test_negative_readout_rejected(self):
+        with pytest.raises(ValueError):
+            SimplifiedWCNN(
+                filters=np.ones((1, 2)), filter_bias=np.zeros(1), readout=np.array([-1.0])
+            )
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError):
+            SimplifiedWCNN(
+                filters=np.ones((1, 4)),
+                filter_bias=np.zeros(1),
+                readout=np.ones(1),
+                kernel_size=2,
+                stride=1,
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SimplifiedWCNN(np.ones((2, 2)), np.zeros(1), np.ones(2))
+        with pytest.raises(ValueError):
+            SimplifiedWCNN(np.ones((2, 2)), np.zeros(2), np.ones(3))
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            SimplifiedWCNN(np.ones((1, 2)), np.zeros(1), np.ones(1), activation="gelu")
+
+    def test_manual_output(self):
+        # one filter w=[1,0], bias 0, relu, readout 2: C = 2*max_i relu(v_i[0])
+        model = SimplifiedWCNN(
+            filters=np.array([[1.0, 0.0]]),
+            filter_bias=np.zeros(1),
+            readout=np.array([2.0]),
+            activation="relu",
+        )
+        v = np.array([[0.5, 9.0], [-1.0, 0.0], [0.7, 0.0]])
+        assert model.output(v) == pytest.approx(1.4)
+
+    def test_kernel_size_two_windows(self):
+        model = SimplifiedWCNN(
+            filters=np.array([[1.0, 0.0, 1.0, 0.0]]),
+            filter_bias=np.zeros(1),
+            readout=np.ones(1),
+            kernel_size=2,
+            stride=2,
+            activation="identity",
+        )
+        v = np.array([[1.0, 0], [2.0, 0], [5.0, 0], [1.0, 0]])
+        # windows (v1,v2)->3, (v3,v4)->6 ; max = 6
+        assert model.output(v) == pytest.approx(6.0)
+
+    def test_random_instance_satisfies_conditions(self):
+        m = SimplifiedWCNN.random_instance(num_filters=3, dim=2, seed=4)
+        assert np.all(m.readout >= 0)
+        assert m.stride >= m.kernel_size
+
+    def test_filter_response_requires_unit_kernel(self):
+        m = SimplifiedWCNN.random_instance(kernel_size=2, dim=2)
+        with pytest.raises(ValueError):
+            m.filter_response(np.zeros(2), 0)
+
+    def test_monotone_in_filter_response(self):
+        # Increasing a word's response to every filter cannot decrease output.
+        m = SimplifiedWCNN.random_instance(num_filters=3, dim=2, seed=1)
+        v = np.random.default_rng(0).normal(size=(4, 2))
+        base = m.output(v)
+        v2 = v.copy()
+        # push word 0 along the sum of filters => increases all responses
+        v2[0] += m.filters.sum(axis=0) * 10
+        assert m.output(v2) >= base - 1e-12
+
+
+class TestScalarRNN:
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarRNN(0.0, np.ones(2), 0.0, 1.0)
+
+    def test_nonpositive_readout_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarRNN(1.0, np.ones(2), 0.0, 0.0)
+
+    def test_nonconcave_activation_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarRNN(1.0, np.ones(2), 0.0, 1.0, activation="relu")
+
+    def test_concave_activations_listed(self):
+        for name, phi in CONCAVE_ACTIVATIONS.items():
+            # spot-check concavity (midpoint above chord) and monotonicity
+            xs = np.linspace(-2.0, 2.0, 9)
+            ys = np.asarray(phi(xs), dtype=float)
+            mids = np.asarray(phi((xs[:-2] + xs[2:]) / 2.0), dtype=float)
+            assert np.all(mids >= (ys[:-2] + ys[2:]) / 2.0 - 1e-9), name
+            assert np.all(np.diff(ys) >= -1e-9), name
+
+    def test_empty_input(self):
+        m = ScalarRNN(1.0, np.ones(2), 0.0, 2.0, h0=0.5)
+        assert m.output(np.zeros((0, 2))) == pytest.approx(1.0)
+
+    def test_trajectory_length(self):
+        m = ScalarRNN.random_instance(dim=3, seed=2)
+        traj = m.hidden_trajectory(np.zeros((5, 3)))
+        assert traj.shape == (5,)
+
+    def test_identity_activation_linear_recurrence(self):
+        m = ScalarRNN(0.5, np.array([1.0]), 0.0, 1.0, activation="identity")
+        v = np.array([[1.0], [1.0]])
+        # h1 = 1 ; h2 = 0.5*1 + 1 = 1.5
+        assert m.output(v) == pytest.approx(1.5)
+
+    def test_monotone_in_input_projection(self):
+        m = ScalarRNN.random_instance(dim=2, seed=3)
+        v = np.random.default_rng(1).normal(size=(4, 2))
+        base = m.output(v)
+        v2 = v.copy()
+        v2[1] += m.input_weights * 5  # raises m·v_1
+        assert m.output(v2) >= base - 1e-12
+
+    def test_random_instance_deterministic(self):
+        a = ScalarRNN.random_instance(seed=9)
+        b = ScalarRNN.random_instance(seed=9)
+        v = np.random.default_rng(0).normal(size=(3, 3))
+        assert a.output(v) == b.output(v)

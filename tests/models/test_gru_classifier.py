@@ -1,0 +1,25 @@
+"""Tests for the GRU classifier (uses the tiny-corpus fixtures)."""
+
+import numpy as np
+
+from repro.models.gru_classifier import GRUClassifier
+
+
+class TestGRUClassifier:
+    def test_trains_on_tiny_corpus(self, tiny_corpus, tiny_vocab, tiny_embeddings):
+        from repro.models import TrainConfig, evaluate, fit
+
+        model = GRUClassifier(
+            tiny_vocab, 72, pretrained_embeddings=tiny_embeddings, hidden_dim=24, seed=0
+        )
+        fit(model, tiny_corpus.train, TrainConfig(epochs=6, seed=0))
+        assert evaluate(model, tiny_corpus.test) >= 0.8
+
+    def test_embedding_gradient_available(self, tiny_corpus, tiny_vocab, tiny_embeddings):
+        model = GRUClassifier(
+            tiny_vocab, 72, pretrained_embeddings=tiny_embeddings, hidden_dim=8, seed=0
+        )
+        doc = tiny_corpus.documents("test")[0][:10]
+        g = model.embedding_gradient(doc, target_label=1)
+        assert g.shape == (10, tiny_embeddings.shape[1])
+        assert np.all(np.isfinite(g))

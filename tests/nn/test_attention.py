@@ -1,0 +1,88 @@
+"""Tests for attention blocks and layer normalization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import LayerNorm, SelfAttention, TransformerBlock, sinusoidal_positions
+from repro.nn.tensor import Tensor
+from tests.gradcheck import assert_grad_matches
+
+RNG = np.random.default_rng(47)
+
+
+class TestPositions:
+    def test_shape(self):
+        assert sinusoidal_positions(10, 8).shape == (10, 8)
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            sinusoidal_positions(4, 7)
+
+    def test_values_bounded(self):
+        enc = sinusoidal_positions(20, 16)
+        assert np.all(np.abs(enc) <= 1.0)
+
+    def test_rows_distinct(self):
+        enc = sinusoidal_positions(5, 8)
+        assert not np.allclose(enc[0], enc[1])
+
+
+class TestLayerNorm:
+    def test_normalizes_statistics(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(RNG.normal(size=(3, 8)) * 5 + 2))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck(self):
+        ln = LayerNorm(4)
+        assert_grad_matches(lambda t: ln(t), RNG.normal(size=(2, 4)), atol=1e-5)
+
+    def test_gain_bias_trainable(self):
+        ln = LayerNorm(4)
+        assert len(ln.parameters()) == 2
+
+
+class TestSelfAttention:
+    def test_output_shape(self):
+        attn = SelfAttention(8)
+        out = attn(Tensor(RNG.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_wrong_dim(self):
+        attn = SelfAttention(8)
+        with pytest.raises(ValueError):
+            attn(Tensor(RNG.normal(size=(1, 3, 4))))
+
+    def test_masked_keys_ignored(self):
+        attn = SelfAttention(4)
+        x = RNG.normal(size=(1, 4, 4))
+        mask = np.array([[True, True, False, False]])
+        out_masked = attn(Tensor(x), mask=mask)
+        x2 = x.copy()
+        x2[0, 2:] = 99.0  # padding content must not matter for real queries
+        out_masked2 = attn(Tensor(x2), mask=mask)
+        np.testing.assert_allclose(
+            out_masked.data[0, :2], out_masked2.data[0, :2], atol=1e-9
+        )
+
+    def test_gradcheck(self):
+        attn = SelfAttention(3)
+        assert_grad_matches(lambda t: attn(t), RNG.normal(size=(1, 3, 3)), atol=1e-5)
+
+
+class TestTransformerBlock:
+    def test_residual_shape_preserved(self):
+        block = TransformerBlock(8)
+        out = block(Tensor(RNG.normal(size=(2, 6, 8))))
+        assert out.shape == (2, 6, 8)
+
+    def test_gradcheck(self):
+        block = TransformerBlock(4)
+        assert_grad_matches(lambda t: block(t), RNG.normal(size=(1, 3, 4)), atol=1e-4, rtol=1e-3)
+
+    def test_mask_passthrough(self):
+        block = TransformerBlock(4)
+        mask = np.array([[True, True, False]])
+        out = block(Tensor(RNG.normal(size=(1, 3, 4))), mask=mask)
+        assert np.all(np.isfinite(out.data))

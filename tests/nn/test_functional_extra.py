@@ -1,0 +1,133 @@
+"""Additional edge-case coverage for the nn substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import log_softmax, softmax
+from repro.nn.layers import Conv1d, Dense, Embedding
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.rnn import LSTM
+from repro.nn.tensor import Tensor, no_grad
+
+RNG = np.random.default_rng(23)
+
+
+class TestNoGradInteractions:
+    def test_nested_no_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                pass
+            out = t * 2  # still inside outer block
+        assert not out.requires_grad
+
+    def test_no_grad_restores_after_exception(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_parameter_created_inside_no_grad_is_frozen(self):
+        from repro.nn.layers import Parameter
+
+        with no_grad():
+            p = Parameter(np.zeros(2))
+        # requires_grad was requested but recording is off
+        assert not p.requires_grad
+
+
+class TestBroadcastEdgeCases:
+    def test_scalar_broadcast_to_matrix(self):
+        s = Tensor(2.0, requires_grad=True)
+        m = Tensor(RNG.normal(size=(3, 4)))
+        (s * m).sum().backward()
+        np.testing.assert_allclose(s.grad, m.data.sum())
+
+    def test_column_broadcast(self):
+        col = Tensor(RNG.normal(size=(3, 1)), requires_grad=True)
+        m = Tensor(RNG.normal(size=(3, 4)))
+        (col + m).sum().backward()
+        np.testing.assert_allclose(col.grad, np.full((3, 1), 4.0))
+
+    def test_sum_multi_axis(self):
+        t = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        t.sum(axis=(0, 2)).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3, 4)))
+
+
+class TestNumericalStability:
+    def test_log_softmax_no_overflow(self):
+        x = Tensor(np.array([[1e4, -1e4]]))
+        out = log_softmax(x)
+        assert np.all(np.isfinite(out.data))
+
+    def test_softmax_gradient_at_saturation(self):
+        x = Tensor(np.array([[50.0, -50.0]]), requires_grad=True)
+        softmax(x)[0, 0].backward()
+        assert np.all(np.isfinite(x.grad))
+
+    def test_lstm_long_sequence_stable(self):
+        lstm = LSTM(4, 8)
+        h, c = lstm(Tensor(RNG.normal(size=(2, 200, 4))))
+        assert np.all(np.isfinite(h.data))
+        assert np.all(np.isfinite(c.data))
+
+
+class TestOptimizerEdgeCases:
+    def test_adam_zero_grad_steps_are_stable(self):
+        from repro.nn.layers import Parameter
+
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(5):
+            p.grad = np.zeros(1)
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_clip_zero_gradients(self):
+        from repro.nn.layers import Parameter
+
+        p = Parameter(np.zeros(3))
+        p.grad = np.zeros(3)
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+    def test_sgd_independent_velocities(self):
+        from repro.nn.layers import Parameter
+
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = SGD([a, b], lr=1.0, momentum=0.9)
+        a.grad, b.grad = np.array([1.0]), np.array([0.0])
+        opt.step()
+        assert a.data[0] == -1.0 and b.data[0] == 0.0
+
+
+class TestLayersEdgeCases:
+    def test_embedding_1d_indices(self):
+        emb = Embedding(5, 3)
+        out = emb(np.array([0, 1, 2]))
+        assert out.shape == (3, 3)
+
+    def test_conv_exact_kernel_length(self):
+        conv = Conv1d(2, 3, kernel_size=4)
+        out = conv(Tensor(RNG.normal(size=(1, 4, 2))))
+        assert out.shape == (1, 1, 3)
+
+    def test_dense_batched_3d_input(self):
+        d = Dense(4, 2)
+        out = d(Tensor(RNG.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 2)
+
+    def test_gradients_flow_through_stacked_layers(self):
+        emb = Embedding(10, 4)
+        conv = Conv1d(4, 6, 2)
+        head = Dense(6, 2)
+        ids = np.array([[1, 2, 3, 4]])
+        out = head(conv(emb(ids)).relu().max(axis=1))
+        out.sum().backward()
+        assert emb.weight.grad is not None
+        assert conv.weight.grad is not None
+        assert head.weight.grad is not None

@@ -1,0 +1,55 @@
+"""Tests for the GRU layer and GRU classifier."""
+
+import numpy as np
+import pytest
+
+from repro.models.gru_classifier import GRUClassifier
+from repro.nn.rnn import GRU
+from repro.nn.tensor import Tensor
+from tests.gradcheck import assert_grad_matches
+
+RNG = np.random.default_rng(31)
+
+
+class TestGRULayer:
+    def test_output_shape(self):
+        gru = GRU(3, 5)
+        assert gru(Tensor(RNG.normal(size=(2, 7, 3)))).shape == (2, 5)
+
+    def test_wrong_input_dim(self):
+        gru = GRU(3, 4)
+        with pytest.raises(ValueError):
+            gru(Tensor(RNG.normal(size=(1, 5, 2))))
+
+    def test_hidden_bounded(self):
+        gru = GRU(2, 3)
+        h = gru(Tensor(RNG.normal(size=(4, 15, 2)) * 5))
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+    def test_mask_freezes_state(self):
+        gru = GRU(2, 4)
+        x = RNG.normal(size=(1, 6, 2))
+        mask = np.ones((1, 6), dtype=bool)
+        mask[0, 3:] = False
+        h_masked = gru(Tensor(x), mask=mask)
+        h_trunc = gru(Tensor(x[:, :3, :]))
+        np.testing.assert_allclose(h_masked.data, h_trunc.data, atol=1e-12)
+
+    def test_gradcheck_input(self):
+        gru = GRU(2, 3)
+        assert_grad_matches(lambda t: gru(t), RNG.normal(size=(2, 4, 2)), atol=1e-5)
+
+    def test_gradcheck_with_mask(self):
+        gru = GRU(2, 3)
+        mask = np.array([[True, False, False], [True, True, True]])
+        assert_grad_matches(lambda t: gru(t, mask=mask), RNG.normal(size=(2, 3, 2)), atol=1e-5)
+
+    def test_deterministic_given_seed(self):
+        a = GRU(2, 3, rng=np.random.default_rng(4))
+        b = GRU(2, 3, rng=np.random.default_rng(4))
+        x = Tensor(RNG.normal(size=(1, 5, 2)))
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_parameters_registered(self):
+        gru = GRU(2, 3)
+        assert len(gru.parameters()) == 3

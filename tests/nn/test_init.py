@@ -1,0 +1,73 @@
+"""Tests for weight-initialization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import orthogonal, uniform, xavier_normal, xavier_uniform, zeros
+
+RNG = np.random.default_rng(13)
+
+
+class TestXavier:
+    def test_uniform_bounds(self):
+        w = xavier_uniform((64, 32), RNG)
+        bound = np.sqrt(6.0 / (32 + 64))
+        assert np.all(np.abs(w) <= bound)
+        assert w.shape == (64, 32)
+
+    def test_normal_scale(self):
+        w = xavier_normal((200, 100), np.random.default_rng(0))
+        expected_std = np.sqrt(2.0 / 300)
+        assert abs(w.std() - expected_std) < expected_std * 0.1
+
+    def test_1d_shape(self):
+        w = xavier_uniform((10,), RNG)
+        assert w.shape == (10,)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            xavier_uniform((), RNG)
+
+    def test_3d_fans(self):
+        # fan_in = prod of trailing dims
+        w = xavier_uniform((8, 4, 2), RNG)
+        bound = np.sqrt(6.0 / (8 + 8))
+        assert np.all(np.abs(w) <= bound)
+
+
+class TestOthers:
+    def test_uniform_scale(self):
+        w = uniform((100,), RNG, scale=0.25)
+        assert np.all(np.abs(w) <= 0.25)
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros((3, 2)), 0.0)
+
+    def test_orthogonal_square(self):
+        q = orthogonal((6, 6), np.random.default_rng(1))
+        np.testing.assert_allclose(q @ q.T, np.eye(6), atol=1e-10)
+
+    def test_orthogonal_rectangular_rows(self):
+        q = orthogonal((3, 6), np.random.default_rng(1))
+        assert q.shape == (3, 6)
+
+    def test_orthogonal_requires_2d(self):
+        with pytest.raises(ValueError):
+            orthogonal((4,), RNG)
+
+
+class TestCanonicalizer:
+    def test_maps_synonyms_to_canonical(self):
+        from repro.data.lexicon import sentiment_lexicon
+        from repro.eval.human_sim import make_canonicalizer
+
+        canon = make_canonicalizer(sentiment_lexicon())
+        assert canon(["wonderful", "food", "zzz"]) == ["great", "food", "zzz"]
+
+    def test_canonical_is_fixed_point(self):
+        from repro.data.lexicon import sentiment_lexicon
+        from repro.eval.human_sim import make_canonicalizer
+
+        canon = make_canonicalizer(sentiment_lexicon())
+        once = canon(["terrific", "superb", "dreadful"])
+        assert canon(once) == once == ["great", "great", "terrible"]

@@ -1,0 +1,258 @@
+"""Tests for layers: Dense, Embedding, Conv1d, pooling, dropout, Module."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv1d,
+    Dense,
+    Dropout,
+    Embedding,
+    MaxOverTime,
+    Module,
+    Parameter,
+    Sequential,
+)
+from repro.nn.tensor import Tensor
+from tests.gradcheck import assert_grad_matches, numerical_grad
+
+RNG = np.random.default_rng(7)
+
+
+class TestModule:
+    def test_parameters_discovered_recursively(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Dense(3, 2)
+                self.b = [Dense(2, 2), Dense(2, 1)]
+
+        net = Net()
+        assert len(net.parameters()) == 6  # 3 dense layers x (W, b)
+
+    def test_named_parameters_paths(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Dense(3, 2)
+
+        names = [n for n, _ in Net().named_parameters()]
+        assert "fc.weight" in names and "fc.bias" in names
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Dropout(0.5), Dense(2, 2))
+        seq.eval()
+        assert not seq.modules[0].training
+        seq.train()
+        assert seq.modules[0].training
+
+    def test_zero_grad(self):
+        d = Dense(2, 1)
+        out = d(Tensor(RNG.normal(size=(3, 2))))
+        out.sum().backward()
+        assert d.weight.grad is not None
+        d.zero_grad()
+        assert d.weight.grad is None
+
+    def test_num_parameters(self):
+        d = Dense(3, 2)
+        assert d.num_parameters() == 3 * 2 + 2
+
+
+class TestDense:
+    def test_output_shape(self):
+        d = Dense(4, 3)
+        assert d(Tensor(RNG.normal(size=(5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        d = Dense(4, 3, bias=False)
+        assert d.bias is None
+        assert len(d.parameters()) == 1
+
+    def test_linear_correctness(self):
+        d = Dense(2, 2)
+        d.weight.data = np.array([[1.0, 0.0], [0.0, 2.0]])
+        d.bias.data = np.array([1.0, -1.0])
+        out = d(Tensor(np.array([[3.0, 4.0]])))
+        np.testing.assert_allclose(out.data, [[4.0, 7.0]])
+
+    @pytest.mark.parametrize("act", ["relu", "tanh", "sigmoid"])
+    def test_activations(self, act):
+        d = Dense(3, 2, activation=act)
+        out = d(Tensor(RNG.normal(size=(4, 3))))
+        if act == "relu":
+            assert np.all(out.data >= 0)
+        else:
+            assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2, activation="swish")
+
+    def test_weight_gradcheck(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        d = Dense(4, 2)
+
+        w0 = d.weight.data.copy()
+
+        def f(w):
+            d.weight.data = w
+            return float(d(x).data.sum())
+
+        d(x).sum().backward()
+        analytic = d.weight.grad.copy()
+        num = numerical_grad(f, w0.copy())
+        d.weight.data = w0
+        np.testing.assert_allclose(analytic, num, atol=1e-6)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4)
+        out = emb(np.array([[1, 2, 3], [4, 5, 6]]))
+        assert out.shape == (2, 3, 4)
+
+    def test_from_pretrained_copies(self):
+        vecs = RNG.normal(size=(5, 3))
+        emb = Embedding.from_pretrained(vecs)
+        vecs[0, 0] = 999.0
+        assert emb.weight.data[0, 0] != 999.0
+
+    def test_frozen_blocks_grad(self):
+        emb = Embedding(5, 3, frozen=True)
+        out = emb(np.array([[0, 1]]))
+        assert not out.requires_grad
+
+    def test_repeated_token_grad_accumulates(self):
+        emb = Embedding(5, 2)
+        out = emb(np.array([[1, 1, 1]]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [3.0, 3.0])
+
+    def test_lookup_values(self):
+        vecs = np.arange(12.0).reshape(4, 3)
+        emb = Embedding.from_pretrained(vecs, frozen=False)
+        out = emb(np.array([[2]]))
+        np.testing.assert_allclose(out.data[0, 0], [6.0, 7.0, 8.0])
+
+
+class TestConv1d:
+    def test_output_shape_stride1(self):
+        conv = Conv1d(in_dim=4, num_filters=6, kernel_size=3, stride=1)
+        out = conv(Tensor(RNG.normal(size=(2, 10, 4))))
+        assert out.shape == (2, 8, 6)
+
+    def test_output_shape_nonoverlap(self):
+        conv = Conv1d(in_dim=4, num_filters=6, kernel_size=2, stride=2)
+        out = conv(Tensor(RNG.normal(size=(2, 10, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_window_starts(self):
+        conv = Conv1d(in_dim=1, num_filters=1, kernel_size=3, stride=2)
+        np.testing.assert_array_equal(conv.window_starts(8), [0, 2, 4])
+
+    def test_too_short_sequence_raises(self):
+        conv = Conv1d(in_dim=1, num_filters=1, kernel_size=5)
+        with pytest.raises(ValueError):
+            conv(Tensor(RNG.normal(size=(1, 3, 1))))
+
+    def test_wrong_dim_raises(self):
+        conv = Conv1d(in_dim=4, num_filters=1, kernel_size=2)
+        with pytest.raises(ValueError):
+            conv(Tensor(RNG.normal(size=(1, 5, 3))))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            Conv1d(2, 2, kernel_size=0)
+        with pytest.raises(ValueError):
+            Conv1d(2, 2, kernel_size=1, stride=0)
+
+    def test_manual_convolution(self):
+        conv = Conv1d(in_dim=1, num_filters=1, kernel_size=2, stride=1)
+        conv.weight.data = np.array([[1.0, -1.0]])
+        conv.bias.data = np.array([0.5])
+        x = Tensor(np.array([[[1.0], [3.0], [2.0]]]))
+        out = conv(x)
+        # windows: [1,3] -> 1-3+0.5 = -1.5 ; [3,2] -> 3-2+0.5 = 1.5
+        np.testing.assert_allclose(out.data[0, :, 0], [-1.5, 1.5])
+
+    def test_input_gradcheck(self):
+        conv = Conv1d(in_dim=2, num_filters=3, kernel_size=2, stride=1)
+        assert_grad_matches(lambda t: conv(t), RNG.normal(size=(2, 5, 2)))
+
+    def test_weight_gradcheck(self):
+        conv = Conv1d(in_dim=2, num_filters=2, kernel_size=2, stride=2)
+        x = Tensor(RNG.normal(size=(1, 6, 2)))
+        conv(x).sum().backward()
+        analytic = conv.weight.grad.copy()
+        w0 = conv.weight.data.copy()
+
+        def f(w):
+            conv.weight.data = w
+            return float(conv(x).data.sum())
+
+        num = numerical_grad(f, w0.copy())
+        conv.weight.data = w0
+        np.testing.assert_allclose(analytic, num, atol=1e-6)
+
+
+class TestMaxOverTime:
+    def test_pools_max(self):
+        x = Tensor(np.array([[[1.0, 9.0], [5.0, 2.0], [3.0, 3.0]]]))
+        out = MaxOverTime()(x)
+        np.testing.assert_allclose(out.data, [[5.0, 9.0]])
+
+    def test_mask_excludes_padding(self):
+        x = Tensor(np.array([[[1.0], [100.0]]]))
+        mask = np.array([[True, False]])
+        out = MaxOverTime()(x, mask=mask)
+        np.testing.assert_allclose(out.data, [[1.0]])
+
+    def test_gradcheck(self):
+        pool = MaxOverTime()
+        assert_grad_matches(lambda t: pool(t), RNG.normal(size=(2, 4, 3)))
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.9)
+        drop.eval()
+        x = Tensor(RNG.normal(size=(4, 4)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_train_zeroes_and_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((1000,)))
+        out = drop(x).data
+        zeros = np.sum(out == 0)
+        assert 400 < zeros < 600
+        nonzero = out[out != 0]
+        np.testing.assert_allclose(nonzero, 2.0)
+
+    def test_p_zero_identity(self):
+        drop = Dropout(0.0)
+        x = Tensor(RNG.normal(size=(3,)))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestSequential:
+    def test_chains(self):
+        seq = Sequential(Dense(3, 4, activation="relu"), Dense(4, 2))
+        out = seq(Tensor(RNG.normal(size=(5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_parameters_collected(self):
+        seq = Sequential(Dense(3, 4), Dense(4, 2))
+        assert len(seq.parameters()) == 4
+
+
+class TestParameter:
+    def test_requires_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad

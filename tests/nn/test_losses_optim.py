@@ -1,0 +1,216 @@
+"""Tests for losses, optimizers, functional ops and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import dropout, log_softmax, softmax
+from repro.nn.layers import Dense, Parameter, Sequential
+from repro.nn.losses import binary_cross_entropy_with_logits, l2_penalty, softmax_cross_entropy
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialization import load, load_state_dict, save, state_dict
+from repro.nn.tensor import Tensor
+from tests.gradcheck import assert_grad_matches
+
+RNG = np.random.default_rng(3)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        out = softmax(Tensor(RNG.normal(size=(4, 5))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        out = softmax(Tensor(np.array([[1000.0, 1001.0]])))
+        np.testing.assert_allclose(out.data.sum(), 1.0)
+        assert np.all(np.isfinite(out.data))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        np.testing.assert_allclose(log_softmax(x).data, np.log(softmax(x).data), atol=1e-12)
+
+    def test_softmax_gradcheck(self):
+        assert_grad_matches(lambda t: softmax(t), RNG.normal(size=(2, 4)))
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 3.0]]))
+        labels = np.array([0, 1])
+        loss = softmax_cross_entropy(logits, labels)
+        expected = -np.mean(
+            [np.log(np.exp(2) / (np.exp(2) + 1)), np.log(np.exp(3) / (np.exp(3) + 1))]
+        )
+        np.testing.assert_allclose(loss.item(), expected)
+
+    def test_gradcheck(self):
+        labels = np.array([0, 2, 1])
+        assert_grad_matches(
+            lambda t: softmax_cross_entropy(t, labels), RNG.normal(size=(3, 3))
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[100.0, 0.0]]))
+        loss = softmax_cross_entropy(logits, np.array([0]))
+        assert loss.item() < 1e-10
+
+
+class TestBCE:
+    def test_matches_manual(self):
+        z = np.array([0.5, -1.0])
+        y = np.array([1.0, 0.0])
+        loss = binary_cross_entropy_with_logits(Tensor(z), y)
+        p = 1 / (1 + np.exp(-z))
+        expected = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+        np.testing.assert_allclose(loss.item(), expected)
+
+    def test_gradcheck(self):
+        labels = np.array([1.0, 0.0, 1.0])
+        assert_grad_matches(
+            lambda t: binary_cross_entropy_with_logits(t, labels), RNG.normal(size=(3,))
+        )
+
+    def test_stable_extreme_logits(self):
+        loss = binary_cross_entropy_with_logits(
+            Tensor(np.array([500.0, -500.0])), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-10
+
+
+class TestL2Penalty:
+    def test_value(self):
+        p1 = Parameter(np.array([1.0, 2.0]))
+        p2 = Parameter(np.array([3.0]))
+        np.testing.assert_allclose(l2_penalty([p1, p2], 0.5).item(), 0.5 * 14.0)
+
+    def test_empty(self):
+        assert l2_penalty([], 1.0).item() == 0.0
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [-1.0])
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.1).step()
+        np.testing.assert_allclose(p.data, [0.99])
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            ((p - 3.0) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-4)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -2.0]))
+        target = np.array([1.0, 2.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            ((p - Tensor(target)) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.array([0.0]))
+        p.grad = np.array([1.0])
+        Adam([p], lr=0.1).step()
+        # After bias correction the first step is ~ -lr * sign(grad)
+        np.testing.assert_allclose(p.data, [-0.1], atol=1e-6)
+
+    def test_weight_decay_applied(self):
+        p = Parameter(np.array([10.0]))
+        p.grad = np.array([0.0])
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert p.data[0] < 10.0
+
+
+class TestClipGradNorm:
+    def test_clips_when_large(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(norm, 5.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_noop_when_small(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+
+class TestSerialization:
+    def test_roundtrip_file(self, tmp_path):
+        model = Sequential(Dense(3, 4), Dense(4, 2))
+        path = tmp_path / "model.npz"
+        save(model, path)
+        clone = Sequential(Dense(3, 4, rng=np.random.default_rng(99)), Dense(4, 2))
+        load(clone, path)
+        x = Tensor(RNG.normal(size=(2, 3)))
+        np.testing.assert_array_equal(model(x).data, clone(x).data)
+
+    def test_state_dict_copies(self):
+        model = Dense(2, 2)
+        sd = state_dict(model)
+        sd["weight"][0, 0] = 123.0
+        assert model.weight.data[0, 0] != 123.0
+
+    def test_mismatch_keys_raise(self):
+        model = Dense(2, 2)
+        with pytest.raises(KeyError):
+            load_state_dict(model, {"weight": np.zeros((2, 2))})
+
+    def test_shape_mismatch_raises(self):
+        model = Dense(2, 2)
+        sd = state_dict(model)
+        sd["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            load_state_dict(model, sd)
+
+
+class TestDropoutFunctional:
+    def test_expectation_preserved(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(20000))
+        out = dropout(x, 0.3, training=True, rng=rng)
+        np.testing.assert_allclose(out.data.mean(), 1.0, atol=0.05)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(2)), 1.5, training=True, rng=np.random.default_rng(0))

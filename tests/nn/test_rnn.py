@@ -1,0 +1,96 @@
+"""Tests for LSTM and SimpleRNN recurrences."""
+
+import numpy as np
+import pytest
+
+from repro.nn.rnn import LSTM, SimpleRNN
+from repro.nn.tensor import Tensor
+from tests.gradcheck import assert_grad_matches
+
+RNG = np.random.default_rng(11)
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = LSTM(input_dim=3, hidden_dim=5)
+        h, c = lstm(Tensor(RNG.normal(size=(2, 7, 3))))
+        assert h.shape == (2, 5)
+        assert c.shape == (2, 5)
+
+    def test_wrong_input_dim(self):
+        lstm = LSTM(3, 4)
+        with pytest.raises(ValueError):
+            lstm(Tensor(RNG.normal(size=(1, 5, 2))))
+
+    def test_forget_bias_initialized_to_one(self):
+        lstm = LSTM(2, 3)
+        np.testing.assert_allclose(lstm.bias.data[3:6], 1.0)
+
+    def test_mask_freezes_state_at_padding(self):
+        lstm = LSTM(2, 4)
+        x = RNG.normal(size=(1, 6, 2))
+        mask_full = np.ones((1, 6), dtype=bool)
+        mask_short = mask_full.copy()
+        mask_short[0, 3:] = False
+        h_short, _ = lstm(Tensor(x), mask=mask_short)
+        h_trunc, _ = lstm(Tensor(x[:, :3, :]))
+        np.testing.assert_allclose(h_short.data, h_trunc.data, atol=1e-12)
+
+    def test_gradcheck_input(self):
+        lstm = LSTM(2, 3)
+        assert_grad_matches(lambda t: lstm(t)[0], RNG.normal(size=(2, 4, 2)), atol=1e-5)
+
+    def test_gradcheck_with_mask(self):
+        lstm = LSTM(2, 3)
+        mask = np.array([[True, True, False], [True, True, True]])
+        assert_grad_matches(lambda t: lstm(t, mask=mask)[0], RNG.normal(size=(2, 3, 2)), atol=1e-5)
+
+    def test_hidden_bounded(self):
+        lstm = LSTM(2, 3)
+        h, _ = lstm(Tensor(RNG.normal(size=(4, 10, 2)) * 5))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_deterministic_given_seed(self):
+        a = LSTM(2, 3, rng=np.random.default_rng(5))
+        b = LSTM(2, 3, rng=np.random.default_rng(5))
+        x = Tensor(RNG.normal(size=(1, 4, 2)))
+        np.testing.assert_array_equal(a(x)[0].data, b(x)[0].data)
+
+
+class TestSimpleRNN:
+    def test_output_shape(self):
+        rnn = SimpleRNN(3, 4)
+        assert rnn(Tensor(RNG.normal(size=(2, 5, 3)))).shape == (2, 4)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            SimpleRNN(2, 2, activation="softplus")
+
+    def test_wrong_input_dim(self):
+        rnn = SimpleRNN(3, 2)
+        with pytest.raises(ValueError):
+            rnn(Tensor(RNG.normal(size=(1, 4, 2))))
+
+    @pytest.mark.parametrize("act", ["tanh", "sigmoid", "relu"])
+    def test_gradcheck_activations(self, act):
+        rnn = SimpleRNN(2, 3, activation=act)
+        x = RNG.normal(size=(1, 4, 2)) + 0.3  # offset avoids relu kink
+        assert_grad_matches(lambda t: rnn(t), x, atol=1e-5)
+
+    def test_mask_freezes_state(self):
+        rnn = SimpleRNN(2, 3)
+        x = RNG.normal(size=(1, 5, 2))
+        mask = np.ones((1, 5), dtype=bool)
+        mask[0, 2:] = False
+        h = rnn(Tensor(x), mask=mask)
+        h_trunc = rnn(Tensor(x[:, :2, :]))
+        np.testing.assert_allclose(h.data, h_trunc.data, atol=1e-12)
+
+    def test_single_step_matches_formula(self):
+        rnn = SimpleRNN(2, 1, activation="tanh")
+        rnn.w_x.data = np.array([[1.0, 2.0]])
+        rnn.w_h.data = np.array([[0.5]])
+        rnn.bias.data = np.array([0.1])
+        x = Tensor(np.array([[[1.0, 1.0]]]))
+        h = rnn(x)
+        np.testing.assert_allclose(h.data, np.tanh([[3.1]]))

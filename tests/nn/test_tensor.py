@@ -1,0 +1,328 @@
+"""Unit + gradient-check tests for the autograd tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn.tensor import Tensor, concatenate, no_grad, is_grad_enabled, stack, where
+from tests.gradcheck import assert_grad_matches
+
+RNG = np.random.default_rng(42)
+
+
+class TestBasics:
+    def test_data_coerced_to_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_severs_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+        assert d._parents == ()
+
+    def test_repr_contains_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_backward_requires_grad_error(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_no_grad_disables_recording(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = t * 2
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 3).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        assert_grad_matches(lambda t: t + t * 2, RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast(self):
+        b = RNG.normal(size=(4,))
+        assert_grad_matches(lambda t: t + Tensor(b), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast_grad_to_small(self):
+        big = Tensor(RNG.normal(size=(3, 4)))
+        assert_grad_matches(lambda t: big + t, RNG.normal(size=(4,)))
+
+    def test_radd_scalar(self):
+        assert_grad_matches(lambda t: 2.0 + t, RNG.normal(size=(3,)))
+
+    def test_sub(self):
+        assert_grad_matches(lambda t: t - t * 3, RNG.normal(size=(2, 5)))
+
+    def test_rsub(self):
+        assert_grad_matches(lambda t: 1.0 - t, RNG.normal(size=(3,)))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        assert_grad_matches(lambda t: t * other, RNG.normal(size=(3, 4)))
+
+    def test_mul_broadcast(self):
+        other = Tensor(RNG.normal(size=(1, 4)))
+        assert_grad_matches(lambda t: t * other, RNG.normal(size=(3, 4)))
+
+    def test_div(self):
+        other = Tensor(RNG.normal(size=(3,)) + 3.0)
+        assert_grad_matches(lambda t: t / other, RNG.normal(size=(3,)))
+
+    def test_div_denominator_grad(self):
+        num = Tensor(RNG.normal(size=(3,)))
+        assert_grad_matches(lambda t: num / t, RNG.normal(size=(3,)) + 2.5)
+
+    def test_rtruediv(self):
+        assert_grad_matches(lambda t: 1.0 / t, RNG.normal(size=(3,)) + 2.0)
+
+    def test_neg(self):
+        assert_grad_matches(lambda t: -t, RNG.normal(size=(4,)))
+
+    def test_pow(self):
+        assert_grad_matches(lambda t: t**3, RNG.normal(size=(3,)) + 2.0)
+
+    def test_pow_nonscalar_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self):
+        b = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        assert_grad_matches(lambda t: t @ b, RNG.normal(size=(3, 4)))
+
+    def test_matmul_rhs_grad(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 5))
+        at = Tensor(a)
+        assert_grad_matches(lambda t: at @ t, b)
+
+    def test_matmul_batched(self):
+        b = Tensor(RNG.normal(size=(4, 5)))
+        assert_grad_matches(lambda t: t @ b, RNG.normal(size=(2, 3, 4)))
+
+    def test_matmul_batched_rhs_grad(self):
+        a = Tensor(RNG.normal(size=(2, 3, 4)))
+        assert_grad_matches(lambda t: a @ t, RNG.normal(size=(4, 5)))
+
+    def test_matmul_vector_rhs(self):
+        v = Tensor(RNG.normal(size=(4,)))
+        assert_grad_matches(lambda t: t @ v, RNG.normal(size=(3, 4)))
+
+    def test_matmul_vector_lhs(self):
+        m = Tensor(RNG.normal(size=(4, 3)))
+        assert_grad_matches(lambda t: t @ m, RNG.normal(size=(4,)))
+
+    def test_matmul_vector_rhs_grad(self):
+        m = Tensor(RNG.normal(size=(3, 4)))
+        assert_grad_matches(lambda t: m @ t, RNG.normal(size=(4,)))
+
+    def test_matmul_vec_vec(self):
+        v = Tensor(RNG.normal(size=(4,)))
+        assert_grad_matches(lambda t: t @ v, RNG.normal(size=(4,)))
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        assert_grad_matches(lambda t: t.sum(), RNG.normal(size=(3, 4)))
+
+    def test_sum_axis(self):
+        assert_grad_matches(lambda t: t.sum(axis=1), RNG.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        assert_grad_matches(lambda t: t.sum(axis=0, keepdims=True), RNG.normal(size=(3, 4)))
+
+    def test_mean_all(self):
+        assert_grad_matches(lambda t: t.mean(), RNG.normal(size=(3, 4)))
+
+    def test_mean_axis(self):
+        assert_grad_matches(lambda t: t.mean(axis=0), RNG.normal(size=(3, 4)))
+
+    def test_max_axis(self):
+        x = RNG.normal(size=(3, 5))
+        assert_grad_matches(lambda t: t.max(axis=1), x)
+
+    def test_max_axis0(self):
+        x = RNG.normal(size=(4, 3))
+        assert_grad_matches(lambda t: t.max(axis=0), x)
+
+    def test_max_keepdims(self):
+        x = RNG.normal(size=(3, 5))
+        assert_grad_matches(lambda t: t.max(axis=1, keepdims=True), x)
+
+    def test_max_3d_middle_axis(self):
+        x = RNG.normal(size=(2, 5, 3))
+        assert_grad_matches(lambda t: t.max(axis=1), x)
+
+    def test_max_value_correct(self):
+        x = np.array([[1.0, 5.0, 3.0], [9.0, 0.0, -1.0]])
+        np.testing.assert_allclose(Tensor(x).max(axis=1).data, [5.0, 9.0])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        assert_grad_matches(lambda t: (t.reshape(6) * 2), RNG.normal(size=(2, 3)))
+
+    def test_reshape_tuple_arg(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose_default(self):
+        assert_grad_matches(lambda t: t.transpose() * 2, RNG.normal(size=(2, 3)))
+
+    def test_transpose_axes(self):
+        assert_grad_matches(lambda t: t.transpose(1, 0, 2), RNG.normal(size=(2, 3, 4)))
+
+    def test_getitem_int_rows(self):
+        idx = np.array([0, 2, 2])
+        assert_grad_matches(lambda t: t[idx], RNG.normal(size=(4, 3)))
+
+    def test_getitem_slice(self):
+        assert_grad_matches(lambda t: t[1:3], RNG.normal(size=(5, 2)))
+
+    def test_getitem_fancy_2d(self):
+        win = np.array([[0, 1], [1, 2]])
+        assert_grad_matches(lambda t: t[:, win, :], RNG.normal(size=(2, 4, 3)))
+
+    def test_take_rows_repeated_indices_accumulate(self):
+        w = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        out = w.take_rows(np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(w.grad[1], [3.0, 3.0, 3.0])
+        np.testing.assert_allclose(w.grad[0], [0.0, 0.0, 0.0])
+
+    def test_take_rows_2d_indices(self):
+        w = Tensor(RNG.normal(size=(6, 2)))
+        ids = np.array([[0, 1], [2, 3]])
+        out = w.take_rows(ids)
+        assert out.shape == (2, 2, 2)
+
+
+class TestNonlinearities:
+    def test_exp(self):
+        assert_grad_matches(lambda t: t.exp(), RNG.normal(size=(3,)))
+
+    def test_log(self):
+        assert_grad_matches(lambda t: t.log(), RNG.random(3) + 0.5)
+
+    def test_relu(self):
+        assert_grad_matches(lambda t: t.relu(), np.array([-1.0, 0.5, 2.0]))
+
+    def test_tanh(self):
+        assert_grad_matches(lambda t: t.tanh(), RNG.normal(size=(4,)))
+
+    def test_sigmoid(self):
+        assert_grad_matches(lambda t: t.sigmoid(), RNG.normal(size=(4,)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor(np.array([-1000.0, 1000.0])).sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_clip_min(self):
+        assert_grad_matches(lambda t: t.clip_min(0.3), np.array([-1.0, 0.5, 2.0]))
+
+
+class TestGraphFunctions:
+    def test_concatenate(self):
+        b = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        assert_grad_matches(lambda t: concatenate([t, b], axis=0), RNG.normal(size=(2, 3)))
+
+    def test_concatenate_axis1(self):
+        a = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        out.sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+
+    def test_stack(self):
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        assert_grad_matches(lambda t: stack([t, b], axis=0), RNG.normal(size=(3,)))
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        assert_grad_matches(lambda t: where(cond, t, b), RNG.normal(size=(3,)))
+
+    def test_where_grad_routing(self):
+        cond = np.array([True, False])
+        a = Tensor(np.zeros(2), requires_grad=True)
+        b = Tensor(np.zeros(2), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+    def test_diamond_graph_accumulates(self):
+        # y = x*x + x*x should give grad 4x, exercising shared-parent paths.
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * x
+        (a + a).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_deep_chain(self):
+        x = Tensor(np.array([0.5]), requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.01
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.01**50], rtol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+        elements=st.floats(-5, 5, allow_nan=False),
+    )
+)
+def test_property_sum_grad_is_ones(x):
+    t = Tensor(x.copy(), requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=5),
+        elements=st.floats(-3, 3, allow_nan=False),
+    )
+)
+def test_property_tanh_grad_bounded(x):
+    t = Tensor(x.copy(), requires_grad=True)
+    t.tanh().sum().backward()
+    assert np.all(t.grad >= 0.0)
+    assert np.all(t.grad <= 1.0 + 1e-12)

@@ -1,0 +1,100 @@
+"""Tests for monotonicity / submodularity verifiers."""
+
+import numpy as np
+import pytest
+
+from repro.submodular.checks import (
+    check_monotone_exhaustive,
+    check_monotone_sampled,
+    check_submodular_exhaustive,
+    check_submodular_sampled,
+)
+from repro.submodular.set_function import ModularSetFunction, SetFunction
+
+
+class SqrtCardinality(SetFunction):
+    """f(S) = sqrt(|S|): monotone and submodular."""
+
+    def __init__(self, n):
+        super().__init__(n)
+
+    def evaluate(self, subset):
+        return float(np.sqrt(len(frozenset(subset))))
+
+
+class SquareCardinality(SetFunction):
+    """f(S) = |S|^2: monotone, supermodular (not submodular)."""
+
+    def __init__(self, n):
+        super().__init__(n)
+
+    def evaluate(self, subset):
+        return float(len(frozenset(subset)) ** 2)
+
+
+class NonMonotone(SetFunction):
+    """f(S) = -|S|."""
+
+    def __init__(self, n):
+        super().__init__(n)
+
+    def evaluate(self, subset):
+        return -float(len(frozenset(subset)))
+
+
+class TestExhaustive:
+    def test_sqrt_is_monotone_submodular(self):
+        f = SqrtCardinality(5)
+        assert check_monotone_exhaustive(f) is None
+        assert check_submodular_exhaustive(f) is None
+
+    def test_square_not_submodular(self):
+        ce = check_submodular_exhaustive(SquareCardinality(4))
+        assert ce is not None
+        assert ce.gap > 0
+        assert "submodularity" in str(ce)
+
+    def test_square_is_monotone(self):
+        assert check_monotone_exhaustive(SquareCardinality(4)) is None
+
+    def test_nonmonotone_detected(self):
+        ce = check_monotone_exhaustive(NonMonotone(3))
+        assert ce is not None
+        assert "monotonicity" in str(ce)
+
+    def test_modular_is_submodular(self):
+        f = ModularSetFunction([1.0, -2.0, 3.0])
+        assert check_submodular_exhaustive(f) is None
+
+    def test_counterexample_is_valid_witness(self):
+        f = SquareCardinality(4)
+        ce = check_submodular_exhaustive(f)
+        gain_x = f.evaluate(ce.smaller | {ce.element}) - f.evaluate(ce.smaller)
+        gain_y = f.evaluate(ce.larger | {ce.element}) - f.evaluate(ce.larger)
+        assert gain_x < gain_y
+        assert ce.smaller <= ce.larger
+        assert ce.element not in ce.larger
+
+
+class TestSampled:
+    def test_sqrt_passes(self):
+        f = SqrtCardinality(10)
+        assert check_monotone_sampled(f, trials=100) is None
+        assert check_submodular_sampled(f, trials=100) is None
+
+    def test_square_caught(self):
+        assert check_submodular_sampled(SquareCardinality(8), trials=300, seed=1) is not None
+
+    def test_nonmonotone_caught(self):
+        assert check_monotone_sampled(NonMonotone(8), trials=200, seed=1) is not None
+
+    def test_empty_ground_set(self):
+        f = ModularSetFunction([])
+        assert check_monotone_sampled(f) is None
+        assert check_submodular_sampled(f) is None
+
+    def test_deterministic_given_seed(self):
+        f = SquareCardinality(6)
+        a = check_submodular_sampled(f, trials=100, seed=3)
+        b = check_submodular_sampled(f, trials=100, seed=3)
+        assert (a.smaller, a.larger, a.element) == (b.smaller, b.larger, b.element)

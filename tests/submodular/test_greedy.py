@@ -1,0 +1,184 @@
+"""Tests for greedy maximizers and the (1 − 1/e) machinery."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.submodular.greedy import (
+    greedy_maximize,
+    greedy_optimality_bound,
+    lazy_greedy_maximize,
+    random_maximize,
+)
+from repro.submodular.set_function import ModularSetFunction, SetFunction
+
+
+class CoverageFunction(SetFunction):
+    """Weighted coverage — the canonical monotone submodular function."""
+
+    def __init__(self, sets: list[set[int]], weights: dict[int, float] | None = None):
+        super().__init__(len(sets))
+        self.sets = sets
+        universe = set().union(*sets) if sets else set()
+        self.weights = weights or {u: 1.0 for u in universe}
+
+    def evaluate(self, subset):
+        covered = set()
+        for i in subset:
+            covered |= self.sets[i]
+        return sum(self.weights[u] for u in covered)
+
+
+@pytest.fixture
+def coverage():
+    return CoverageFunction(
+        [{1, 2, 3}, {3, 4}, {4, 5, 6, 7}, {1, 7}, {8}],
+    )
+
+
+def brute_force_opt(f: SetFunction, budget: int) -> float:
+    best = -np.inf
+    for r in range(budget + 1):
+        for combo in itertools.combinations(range(f.ground_set_size), r):
+            best = max(best, f.evaluate(combo))
+    return best
+
+
+class TestGreedy:
+    def test_selects_best_first(self, coverage):
+        result = greedy_maximize(coverage, 1)
+        assert result.selected == [2]  # largest set
+        assert result.value == 4.0
+
+    def test_respects_budget(self, coverage):
+        result = greedy_maximize(coverage, 2)
+        assert len(result.selected) <= 2
+
+    def test_zero_budget(self, coverage):
+        result = greedy_maximize(coverage, 0)
+        assert result.selected == [] and result.value == 0.0
+
+    def test_negative_budget(self, coverage):
+        with pytest.raises(ValueError):
+            greedy_maximize(coverage, -1)
+
+    def test_stops_when_no_gain(self):
+        f = ModularSetFunction([1.0, 0.0, -5.0])
+        result = greedy_maximize(f, 3)
+        assert result.selected == [0]
+
+    def test_trajectory_monotone(self, coverage):
+        result = greedy_maximize(coverage, 4)
+        assert all(b >= a for a, b in zip(result.trajectory, result.trajectory[1:]))
+
+    def test_one_over_e_guarantee_on_coverage(self, coverage):
+        for budget in (1, 2, 3):
+            result = greedy_maximize(coverage, budget)
+            opt = brute_force_opt(coverage, budget)
+            assert result.value >= (1 - 1 / np.e) * opt - 1e-12
+
+    def test_exact_on_modular(self):
+        f = ModularSetFunction([3.0, 1.0, 2.0, -1.0])
+        result = greedy_maximize(f, 2)
+        assert set(result.selected) == {0, 2}
+        assert result.value == 5.0
+
+
+class TestLazyGreedy:
+    def test_matches_naive_on_coverage(self, coverage):
+        for budget in range(5):
+            naive = greedy_maximize(coverage, budget)
+            lazy = lazy_greedy_maximize(coverage, budget)
+            assert naive.value == pytest.approx(lazy.value)
+            assert naive.selected == lazy.selected
+
+    def test_fewer_or_equal_evaluations(self, coverage):
+        naive = greedy_maximize(coverage, 3)
+        lazy = lazy_greedy_maximize(coverage, 3)
+        assert lazy.n_evaluations <= naive.n_evaluations
+
+    def test_zero_budget(self, coverage):
+        assert lazy_greedy_maximize(coverage, 0).selected == []
+
+    def test_stops_without_gain(self):
+        f = ModularSetFunction([-1.0, -2.0])
+        assert lazy_greedy_maximize(f, 2).selected == []
+
+
+class TestRandomBaseline:
+    def test_respects_budget(self, coverage):
+        result = random_maximize(coverage, 2, seed=1)
+        assert len(result.selected) == 2
+
+    def test_reproducible(self, coverage):
+        a = random_maximize(coverage, 3, seed=5)
+        b = random_maximize(coverage, 3, seed=5)
+        assert a.selected == b.selected
+
+    def test_usually_below_greedy(self, coverage):
+        greedy_val = greedy_maximize(coverage, 2).value
+        rand_vals = [random_maximize(coverage, 2, seed=s).value for s in range(10)]
+        assert np.mean(rand_vals) <= greedy_val
+
+
+class TestOptimalityBound:
+    def test_upper_bounds_opt(self, coverage):
+        for budget in (1, 2, 3):
+            result = greedy_maximize(coverage, budget)
+            bound = greedy_optimality_bound(coverage, result.selected, budget)
+            opt = brute_force_opt(coverage, budget)
+            assert bound >= opt - 1e-12
+
+    def test_bound_at_least_value(self, coverage):
+        result = greedy_maximize(coverage, 2)
+        assert greedy_optimality_bound(coverage, result.selected, 2) >= result.value
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.sets(st.integers(0, 8), min_size=1, max_size=4), min_size=1, max_size=6
+    ),
+    st.integers(1, 4),
+)
+def test_property_greedy_guarantee_random_coverage(sets, budget):
+    f = CoverageFunction([set(s) for s in sets])
+    result = greedy_maximize(f, budget)
+    opt = brute_force_opt(f, budget)
+    assert result.value >= (1 - 1 / np.e) * opt - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.sets(st.integers(0, 8), min_size=1, max_size=4), min_size=1, max_size=6
+    ),
+    st.integers(0, 4),
+)
+def test_property_lazy_matches_naive_without_ties(sets, budget):
+    # Distinct element weights remove marginal-gain ties; with ties, naive
+    # and lazy greedy may legitimately pick different (equally greedy)
+    # elements and end at different values.
+    universe = set().union(*[set(s) for s in sets])
+    weights = {u: 1.0 + 0.37 * u + 0.011 * u * u for u in universe}
+    f = CoverageFunction([set(s) for s in sets], weights)
+    naive = greedy_maximize(f, budget)
+    lazy = lazy_greedy_maximize(f, budget)
+    assert naive.value == pytest.approx(lazy.value)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.sets(st.integers(0, 8), min_size=1, max_size=4), min_size=1, max_size=6
+    ),
+    st.integers(1, 4),
+)
+def test_property_lazy_satisfies_guarantee_even_with_ties(sets, budget):
+    f = CoverageFunction([set(s) for s in sets])
+    lazy = lazy_greedy_maximize(f, budget)
+    opt = brute_force_opt(f, budget)
+    assert lazy.value >= (1 - 1 / np.e) * opt - 1e-9

@@ -1,0 +1,141 @@
+"""Tests for Prop. 1 (SUBSET-SUM reduction) and Prop. 2 (modular relaxation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.submodular.checks import check_monotone_exhaustive
+from repro.submodular.modular import (
+    modular_relaxation_bow,
+    modular_relaxation_word2vec,
+)
+from repro.submodular.reductions import (
+    solve_subset_sum_via_attack,
+    subset_sum_attack_instance,
+)
+
+
+class TestSubsetSumReduction:
+    def test_solvable_instance(self):
+        assert solve_subset_sum_via_attack([3, 5, 7], 8)  # 3 + 5
+
+    def test_unsolvable_instance(self):
+        assert not solve_subset_sum_via_attack([3, 5, 7], 4)
+
+    def test_empty_subset_target_zero(self):
+        assert solve_subset_sum_via_attack([1, 2], 0)
+
+    def test_full_set_sum(self):
+        assert solve_subset_sum_via_attack([2, 4, 6], 12)
+
+    def test_single_number(self):
+        assert solve_subset_sum_via_attack([9], 9)
+        assert not solve_subset_sum_via_attack([9], 8)
+
+    def test_empty_numbers_raises(self):
+        with pytest.raises(ValueError):
+            subset_sum_attack_instance([], 0)
+
+    def test_attack_function_monotone(self):
+        f = subset_sum_attack_instance([2, 3], 4)
+        assert check_monotone_exhaustive(f) is None
+
+    def test_objective_is_negated_sq_error(self):
+        f = subset_sum_attack_instance([2, 3], 4)
+        # empty set: keep both -> sum 5, error (5-4)^2 = 1
+        assert f.evaluate(()) == -1.0
+        # attack {0}: options keep (sum 5, -1) or drop 2 (sum 3, -1) -> -1
+        assert f.evaluate({0}) == -1.0
+        # attack {1}: drop 3 -> sum 2, error 4; keep -> -1 ; best -1
+        assert f.evaluate({1}) == -1.0
+        # attack both: can reach sums {5,3,2,0}; best error is 1 -> -1
+        assert f.evaluate({0, 1}) == -1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 12), min_size=1, max_size=6), st.integers(0, 40))
+    def test_property_matches_brute_force(self, numbers, target):
+        import itertools
+
+        expected = any(
+            sum(c) == target
+            for r in range(len(numbers) + 1)
+            for c in itertools.combinations(numbers, r)
+        )
+        assert solve_subset_sum_via_attack(numbers, target) == expected
+
+
+class TestModularRelaxationW2V:
+    def test_weights_are_best_gain(self):
+        orig = np.array([[1.0, 0.0]])
+        grad = np.array([[1.0, 0.0]])
+        cands = [[np.array([2.0, 0.0]), np.array([0.0, 0.0])]]
+        rel = modular_relaxation_word2vec(orig, cands, grad)
+        assert rel.weights[0] == pytest.approx(1.0)  # (2-1)·1
+        assert rel.best_choice[0] == 1
+
+    def test_no_positive_gain_keeps_original(self):
+        orig = np.array([[1.0]])
+        grad = np.array([[1.0]])
+        cands = [[np.array([0.5])]]
+        rel = modular_relaxation_word2vec(orig, cands, grad)
+        assert rel.weights[0] == 0.0
+        assert rel.best_choice[0] == 0
+
+    def test_empty_candidates(self):
+        rel = modular_relaxation_word2vec(np.ones((2, 2)), [[], []], np.ones((2, 2)))
+        np.testing.assert_array_equal(rel.weights, 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            modular_relaxation_word2vec(np.ones((2, 2)), [[], []], np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            modular_relaxation_word2vec(np.ones((2, 2)), [[]], np.ones((2, 2)))
+
+    def test_solve_returns_transformation(self):
+        orig = np.zeros((3, 1))
+        grad = np.ones((3, 1))
+        cands = [
+            [np.array([1.0])],
+            [np.array([5.0])],
+            [np.array([3.0])],
+        ]
+        rel = modular_relaxation_word2vec(orig, cands, grad)
+        chosen, l = rel.solve(budget=2)
+        assert set(chosen) == {1, 2}
+        np.testing.assert_array_equal(l, [0, 1, 1])
+
+    def test_set_function_is_modular(self):
+        rel = modular_relaxation_word2vec(
+            np.zeros((2, 1)), [[np.array([1.0])], [np.array([2.0])]], np.ones((2, 1))
+        )
+        f = rel.as_set_function(base=0.5)
+        assert f.evaluate({0, 1}) == pytest.approx(0.5 + 1 + 2)
+        # modularity: f(S)+f(T) == f(S∪T)+f(S∩T)
+        assert f.evaluate({0}) + f.evaluate({1}) == pytest.approx(
+            f.evaluate({0, 1}) + f.evaluate(())
+        )
+
+
+class TestModularRelaxationBow:
+    def test_gain_is_gradient_difference(self):
+        grad = np.array([0.1, 0.9, 0.3])
+        rel = modular_relaxation_bow([0], [[1, 2]], grad)
+        assert rel.weights[0] == pytest.approx(0.8)
+        assert rel.best_choice[0] == 1
+
+    def test_negative_gains_zeroed(self):
+        grad = np.array([1.0, 0.0])
+        rel = modular_relaxation_bow([0], [[1]], grad)
+        assert rel.weights[0] == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            modular_relaxation_bow([0, 1], [[1]], np.ones(3))
+
+    def test_solve_budget_limits(self):
+        grad = np.array([0.0, 1.0, 2.0, 3.0])
+        rel = modular_relaxation_bow([0, 0, 0], [[1], [2], [3]], grad)
+        chosen, l = rel.solve(budget=2)
+        assert len(chosen) == 2
+        assert 2 in chosen  # best gain position

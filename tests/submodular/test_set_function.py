@@ -1,0 +1,126 @@
+"""Tests for set-function abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.submodular.set_function import (
+    AttackSetFunction,
+    CachedSetFunction,
+    ModularSetFunction,
+    SetFunction,
+)
+
+
+class TestModularSetFunction:
+    def test_empty_set_is_base(self):
+        f = ModularSetFunction([1.0, 2.0], base=5.0)
+        assert f.evaluate(()) == 5.0
+
+    def test_sum_of_weights(self):
+        f = ModularSetFunction([1.0, 2.0, -3.0])
+        assert f.evaluate({0, 2}) == -2.0
+
+    def test_marginal_gain(self):
+        f = ModularSetFunction([1.0, 4.0])
+        assert f.marginal_gain({0}, 1) == 4.0
+
+    def test_out_of_range_element(self):
+        f = ModularSetFunction([1.0])
+        with pytest.raises(ValueError):
+            f.evaluate({3})
+
+    def test_maximize_picks_top_positive(self):
+        f = ModularSetFunction([1.0, -2.0, 5.0, 0.5])
+        chosen, value = f.maximize(2)
+        assert set(chosen) == {0, 2}
+        assert value == 6.0
+
+    def test_maximize_skips_nonpositive(self):
+        f = ModularSetFunction([-1.0, -2.0])
+        chosen, value = f.maximize(2)
+        assert chosen == [] and value == 0.0
+
+    def test_maximize_negative_budget(self):
+        with pytest.raises(ValueError):
+            ModularSetFunction([1.0]).maximize(-1)
+
+    def test_callable(self):
+        f = ModularSetFunction([2.0])
+        assert f({0}) == 2.0
+
+
+class TestCachedSetFunction:
+    def test_counts_unique_evaluations(self):
+        f = CachedSetFunction(ModularSetFunction([1.0, 2.0]))
+        f.evaluate({0})
+        f.evaluate({0})
+        f.evaluate({1})
+        assert f.n_evaluations == 2
+
+    def test_frozenset_vs_list_keys(self):
+        f = CachedSetFunction(ModularSetFunction([1.0, 2.0]))
+        f.evaluate([0, 1])
+        f.evaluate({1, 0})
+        assert f.n_evaluations == 1
+
+
+class TestAttackSetFunction:
+    def _quadratic(self):
+        # objective: sum of chosen bonuses with interaction
+        bonus = np.array([[0.0, 1.0], [0.0, 2.0], [0.0, 0.5]])
+
+        def obj(l):
+            vals = [bonus[i, li] for i, li in enumerate(l)]
+            return sum(vals)
+
+        return AttackSetFunction(obj, [2, 2, 2])
+
+    def test_empty_set_keeps_original(self):
+        f = self._quadratic()
+        assert f.evaluate(()) == 0.0
+
+    def test_inner_max_picks_best(self):
+        f = self._quadratic()
+        assert f.evaluate({1}) == 2.0
+
+    def test_monotone_by_construction(self):
+        f = self._quadratic()
+        assert f.evaluate({0, 1}) >= f.evaluate({1})
+
+    def test_keep_choice_available(self):
+        # objective where replacement hurts: f(S) should still equal f(∅)
+        def obj(l):
+            return -sum(l)
+
+        f = AttackSetFunction(obj, [3, 3])
+        assert f.evaluate({0, 1}) == 0.0
+
+    def test_best_transformation(self):
+        f = self._quadratic()
+        l = f.best_transformation({0, 2})
+        assert l == (1, 0, 1)
+
+    def test_invalid_candidate_count(self):
+        with pytest.raises(ValueError):
+            AttackSetFunction(lambda l: 0.0, [0, 2])
+
+    def test_out_of_range(self):
+        f = self._quadratic()
+        with pytest.raises(ValueError):
+            f.evaluate({5})
+
+    def test_multiple_candidates_per_position(self):
+        def obj(l):
+            return {0: 0.0, 1: 1.0, 2: 7.0}[l[0]]
+
+        f = AttackSetFunction(obj, [3])
+        assert f.evaluate({0}) == 7.0
+
+
+class TestBaseClass:
+    def test_negative_ground_set(self):
+        with pytest.raises(ValueError):
+            SetFunction(-1)
+
+    def test_ground_set_range(self):
+        assert list(SetFunction(3).ground_set) == [0, 1, 2]

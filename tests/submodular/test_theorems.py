@@ -1,0 +1,204 @@
+"""Verification of the paper's theory: Claim 1, Theorems 1 & 2.
+
+These tests instantiate the simplified WCNN / scalar RNN under the exact
+theorem preconditions and exhaustively verify submodularity of the induced
+attack set functions on small ground sets; they also confirm the claims
+*fail* when a precondition is deliberately broken, showing the conditions
+are load-bearing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.theory_models import ScalarRNN, SimplifiedWCNN
+from repro.submodular.checks import (
+    check_monotone_exhaustive,
+    check_submodular_exhaustive,
+)
+from repro.submodular.greedy import greedy_maximize
+from repro.submodular.set_function import AttackSetFunction
+from repro.submodular.theory import (
+    make_output_increasing_candidates_rnn,
+    make_output_increasing_candidates_wcnn,
+    rnn_attack_set_function,
+    wcnn_attack_set_function,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def _wcnn_instance(seed=0, activation="relu", n_words=5, dim=3, k=2):
+    model = SimplifiedWCNN.random_instance(
+        num_filters=3, dim=dim, kernel_size=1, activation=activation, seed=seed
+    )
+    vectors = np.random.default_rng(seed + 100).normal(size=(n_words, dim))
+    candidates = make_output_increasing_candidates_wcnn(model, vectors, k=k, seed=seed)
+    return model, vectors, candidates
+
+
+def _rnn_instance(seed=0, activation="log_sigmoid", n_words=5, dim=3, k=2):
+    model = ScalarRNN.random_instance(dim=dim, activation=activation, seed=seed)
+    vectors = np.random.default_rng(seed + 200).normal(size=(n_words, dim))
+    candidates = make_output_increasing_candidates_rnn(model, vectors, k=k, seed=seed)
+    return model, vectors, candidates
+
+
+class TestClaim1Monotone:
+    """Claim 1: f is monotone non-decreasing for ANY classifier."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_wcnn_attack_monotone(self, seed):
+        model, vectors, candidates = _wcnn_instance(seed=seed)
+        f = wcnn_attack_set_function(model, vectors, candidates)
+        assert check_monotone_exhaustive(f) is None
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_rnn_attack_monotone(self, seed):
+        model, vectors, candidates = _rnn_instance(seed=seed)
+        f = rnn_attack_set_function(model, vectors, candidates)
+        assert check_monotone_exhaustive(f) is None
+
+    def test_monotone_even_with_arbitrary_candidates(self):
+        # Monotonicity needs no condition on the candidates (keep is free).
+        model, vectors, _ = _wcnn_instance()
+        rng = np.random.default_rng(5)
+        arbitrary = [[rng.normal(size=3) for _ in range(2)] for _ in range(5)]
+        f = wcnn_attack_set_function(model, vectors, arbitrary)
+        assert check_monotone_exhaustive(f) is None
+
+
+class TestTheorem1:
+    """Simplified WCNN is submodular under the stated conditions."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "sigmoid"])
+    def test_submodular_under_conditions(self, seed, activation):
+        model, vectors, candidates = _wcnn_instance(seed=seed, activation=activation)
+        f = wcnn_attack_set_function(model, vectors, candidates)
+        assert check_submodular_exhaustive(f) is None
+
+    def test_candidates_actually_increase_responses(self):
+        model, vectors, candidates = _wcnn_instance(seed=7)
+        for i, v in enumerate(vectors):
+            for cand in candidates[i]:
+                for j in range(model.filters.shape[0]):
+                    assert model.filter_response(cand, j) >= model.filter_response(v, j) - 1e-12
+
+    def test_negative_readout_breaks_submodularity_possible(self):
+        # With a mixed-sign readout the proof no longer applies; find a seed
+        # exhibiting a violation to show the condition matters.
+        found = False
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            base = SimplifiedWCNN.random_instance(num_filters=3, dim=3, seed=seed)
+            vectors = rng.normal(size=(4, 3))
+            candidates = make_output_increasing_candidates_wcnn(base, vectors, k=2, seed=seed)
+            # bypass the validation to plant a negative readout
+            base.readout = np.array([1.0, -2.0, 1.0])
+            f = wcnn_attack_set_function(base, vectors, candidates)
+            if check_submodular_exhaustive(f) is not None:
+                found = True
+                break
+        assert found, "expected some violation with a mixed-sign readout"
+
+    def test_arbitrary_candidates_break_submodularity_possible(self):
+        # Without the output-increasing candidate condition the function can
+        # violate diminishing returns.
+        found = False
+        for seed in range(40):
+            model = SimplifiedWCNN.random_instance(num_filters=3, dim=3, seed=seed)
+            rng = np.random.default_rng(seed + 1)
+            vectors = rng.normal(size=(4, 3))
+            arbitrary = [[rng.normal(size=3) * 2 for _ in range(2)] for _ in range(4)]
+            f = wcnn_attack_set_function(model, vectors, arbitrary)
+            if check_submodular_exhaustive(f) is not None:
+                found = True
+                break
+        assert found, "expected some violation with arbitrary candidates"
+
+    def test_greedy_achieves_guarantee_on_wcnn(self):
+        model, vectors, candidates = _wcnn_instance(seed=11, n_words=6)
+        f = wcnn_attack_set_function(model, vectors, candidates)
+        budget = 3
+        result = greedy_maximize(f, budget)
+        # exact OPT by brute force over subsets
+        import itertools
+
+        opt = max(
+            f.evaluate(c)
+            for r in range(budget + 1)
+            for c in itertools.combinations(range(6), r)
+        )
+        shift = f.evaluate(())  # normalize: guarantee applies to gains
+        assert result.value - shift >= (1 - 1 / np.e) * (opt - shift) - 1e-9
+
+
+class TestTheorem2:
+    """Scalar RNN is submodular under the stated conditions."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("activation", ["log_sigmoid", "identity"])
+    def test_submodular_under_conditions(self, seed, activation):
+        model, vectors, candidates = _rnn_instance(seed=seed, activation=activation)
+        f = rnn_attack_set_function(model, vectors, candidates)
+        assert check_submodular_exhaustive(f) is None
+
+    def test_candidates_increase_input_projection(self):
+        model, vectors, candidates = _rnn_instance(seed=5)
+        for i, v in enumerate(vectors):
+            for cand in candidates[i]:
+                assert model.input_weights @ cand >= model.input_weights @ v - 1e-12
+
+    def test_longer_sequences_still_submodular(self):
+        model, vectors, candidates = _rnn_instance(seed=9, n_words=7)
+        f = rnn_attack_set_function(model, vectors, candidates)
+        assert check_submodular_exhaustive(f) is None
+
+    def test_convex_activation_breaks_submodularity_possible(self):
+        # Using a convex activation (softplus) violates Theorem 2's
+        # concavity requirement; some instance should then fail the check.
+        from repro.models.theory_models import CONCAVE_ACTIVATIONS
+
+        found = False
+        for seed in range(40):
+            model = ScalarRNN.random_instance(dim=2, seed=seed)
+            model._phi = lambda x: np.log1p(np.exp(2.0 * x))  # convex, increasing
+            rng = np.random.default_rng(seed + 3)
+            vectors = rng.normal(size=(4, 2))
+            candidates = make_output_increasing_candidates_rnn(model, vectors, k=2, seed=seed)
+            f = rnn_attack_set_function(model, vectors, candidates)
+            if check_submodular_exhaustive(f) is not None:
+                found = True
+                break
+        assert found, "expected some violation with a convex activation"
+
+    def test_greedy_achieves_guarantee_on_rnn(self):
+        import itertools
+
+        model, vectors, candidates = _rnn_instance(seed=13, n_words=6)
+        f = rnn_attack_set_function(model, vectors, candidates)
+        budget = 3
+        result = greedy_maximize(f, budget)
+        opt = max(
+            f.evaluate(c)
+            for r in range(budget + 1)
+            for c in itertools.combinations(range(6), r)
+        )
+        shift = f.evaluate(())
+        assert result.value - shift >= (1 - 1 / np.e) * (opt - shift) - 1e-9
+
+
+class TestCandidateFactories:
+    def test_wcnn_requires_unit_kernel(self):
+        model = SimplifiedWCNN.random_instance(kernel_size=2, dim=2)
+        with pytest.raises(ValueError):
+            make_output_increasing_candidates_wcnn(model, np.zeros((2, 2)))
+
+    def test_rnn_zero_weights_rejected(self):
+        model = ScalarRNN(1.0, np.zeros(2), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            make_output_increasing_candidates_rnn(model, np.zeros((2, 2)))
+
+    def test_candidate_counts(self):
+        model, vectors, candidates = _wcnn_instance(k=3)
+        assert all(len(c) == 3 for c in candidates)

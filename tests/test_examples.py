@@ -1,0 +1,51 @@
+"""Smoke tests: the README-facing example scripts actually run.
+
+Only the fast examples are executed end-to-end (the experiment-context
+ones retrain multiple victims); the rest are compile-checked.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        out = _run_example("quickstart.py")
+        assert "clean test accuracy" in out
+        assert "adversarial" in out
+
+    def test_submodularity_demo(self):
+        out = _run_example("submodularity_demo.py")
+        assert "Proposition 1" in out
+        assert "greedy/OPT" in out
+        assert "found at seed" in out
+
+    def test_malicious_url_attack(self):
+        out = _run_example("malicious_url_attack.py")
+        assert "phishing detector accuracy" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [p.name for p in sorted(EXAMPLES_DIR.glob("*.py"))],
+)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)

@@ -1,0 +1,127 @@
+"""Tests for synthetic and PPMI embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.text.embeddings import (
+    PPMIEmbedder,
+    embedding_matrix_for_vocab,
+    synonym_clustered_embeddings,
+)
+from repro.text.vocab import Vocabulary
+
+CLUSTERS = [["good", "great", "fine"], ["bad", "awful"], ["food", "meal"]]
+
+
+class TestSynonymClustered:
+    def test_all_words_present(self):
+        vecs = synonym_clustered_embeddings(CLUSTERS, extra_words=["the"])
+        for cluster in CLUSTERS:
+            for w in cluster:
+                assert w in vecs
+        assert "the" in vecs
+
+    def test_deterministic(self):
+        a = synonym_clustered_embeddings(CLUSTERS, seed=3)
+        b = synonym_clustered_embeddings(CLUSTERS, seed=3)
+        for w in a:
+            np.testing.assert_array_equal(a[w], b[w])
+
+    def test_different_seed_differs(self):
+        a = synonym_clustered_embeddings(CLUSTERS, seed=1)
+        b = synonym_clustered_embeddings(CLUSTERS, seed=2)
+        assert not np.allclose(a["good"], b["good"])
+
+    def test_cluster_members_closer_than_strangers(self):
+        vecs = synonym_clustered_embeddings(CLUSTERS, dim=32, cluster_radius=0.1, seed=0)
+        within = np.linalg.norm(vecs["good"] - vecs["great"])
+        across = np.linalg.norm(vecs["good"] - vecs["bad"])
+        assert within < across
+
+    def test_radius_controls_spread(self):
+        tight = synonym_clustered_embeddings(CLUSTERS, cluster_radius=0.01, seed=0)
+        loose = synonym_clustered_embeddings(CLUSTERS, cluster_radius=0.5, seed=0)
+        d_tight = np.linalg.norm(tight["good"] - tight["great"])
+        d_loose = np.linalg.norm(loose["good"] - loose["great"])
+        assert d_tight < d_loose
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            synonym_clustered_embeddings(CLUSTERS, cluster_radius=-1.0)
+
+    def test_duplicate_across_clusters_raises(self):
+        with pytest.raises(ValueError):
+            synonym_clustered_embeddings([["a", "b"], ["b", "c"]])
+
+    def test_extra_word_in_cluster_not_overwritten(self):
+        vecs = synonym_clustered_embeddings([["good", "great"]], extra_words=["good"])
+        near = np.linalg.norm(vecs["good"] - vecs["great"])
+        assert near < 1.0  # still the clustered vector
+
+    def test_dim_respected(self):
+        vecs = synonym_clustered_embeddings(CLUSTERS, dim=7)
+        assert vecs["good"].shape == (7,)
+
+
+class TestEmbeddingMatrix:
+    def test_pad_row_zero(self):
+        vocab = Vocabulary(["good", "bad"])
+        vecs = synonym_clustered_embeddings(CLUSTERS)
+        mat = embedding_matrix_for_vocab(vocab, vecs)
+        np.testing.assert_array_equal(mat[vocab.pad_id], 0.0)
+
+    def test_known_words_aligned(self):
+        vocab = Vocabulary(["good"])
+        vecs = synonym_clustered_embeddings(CLUSTERS)
+        mat = embedding_matrix_for_vocab(vocab, vecs)
+        np.testing.assert_array_equal(mat[vocab.id("good")], vecs["good"])
+
+    def test_missing_words_get_unit_vectors(self):
+        vocab = Vocabulary(["notincluster"])
+        vecs = synonym_clustered_embeddings(CLUSTERS)
+        mat = embedding_matrix_for_vocab(vocab, vecs)
+        np.testing.assert_allclose(np.linalg.norm(mat[vocab.id("notincluster")]), 1.0)
+
+    def test_empty_vectors_need_dim(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(ValueError):
+            embedding_matrix_for_vocab(vocab, {})
+        mat = embedding_matrix_for_vocab(vocab, {}, dim=5)
+        assert mat.shape == (3, 5)
+
+
+class TestPPMIEmbedder:
+    CORPUS = [
+        ["king", "rules", "kingdom"],
+        ["queen", "rules", "kingdom"],
+        ["dog", "chases", "cat"],
+        ["cat", "chases", "mouse"],
+        ["king", "rules", "land"],
+        ["queen", "rules", "land"],
+    ] * 3
+
+    def test_fit_populates_vectors(self):
+        emb = PPMIEmbedder(dim=8).fit(self.CORPUS)
+        assert "king" in emb and emb["king"].shape == (8,)
+
+    def test_shared_context_words_similar(self):
+        emb = PPMIEmbedder(dim=8, window=2).fit(self.CORPUS)
+        assert emb.similarity("king", "queen") > emb.similarity("king", "mouse")
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            PPMIEmbedder().fit([])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PPMIEmbedder(dim=0)
+        with pytest.raises(ValueError):
+            PPMIEmbedder(window=0)
+
+    def test_dim_larger_than_vocab_padded(self):
+        emb = PPMIEmbedder(dim=50).fit([["a", "b"], ["b", "a"]])
+        assert emb["a"].shape == (50,)
+
+    def test_similarity_self_is_one(self):
+        emb = PPMIEmbedder(dim=4).fit(self.CORPUS)
+        np.testing.assert_allclose(emb.similarity("king", "king"), 1.0, atol=1e-12)

@@ -1,0 +1,134 @@
+"""Tests for tokenizer, vocabulary and sentence splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.sentence import join_sentences, split_sentences
+from repro.text.tokenizer import detokenize, tokenize
+from repro.text.vocab import PAD, UNK, Vocabulary
+
+
+class TestTokenizer:
+    def test_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_punctuation_separated(self):
+        assert tokenize("good, bad.") == ["good", ",", "bad", "."]
+
+    def test_contractions_kept(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_numbers(self):
+        assert tokenize("5 stars") == ["5", "stars"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_detokenize_attaches_punctuation(self):
+        assert detokenize(["good", ",", "bad", "."]) == "good, bad."
+
+    def test_detokenize_leading_punct(self):
+        assert detokenize([".", "hi"]) == ". hi"
+
+    def test_roundtrip_simple(self):
+        text = "the food was great. service was slow!"
+        assert detokenize(tokenize(text)) == text
+
+
+class TestVocabulary:
+    def test_specials_present(self):
+        v = Vocabulary(["a", "b"])
+        assert v.word(0) == PAD and v.word(1) == UNK
+        assert v.pad_id == 0 and v.unk_id == 1
+
+    def test_build_frequency_order(self):
+        docs = [["b", "b", "a"], ["b", "c", "c"]]
+        v = Vocabulary.build(docs)
+        assert v.word(2) == "b"  # most frequent first
+
+    def test_build_max_size(self):
+        docs = [["a", "b", "c", "d"]]
+        v = Vocabulary.build(docs, max_size=2)
+        assert len(v) == 4  # 2 specials + 2 words
+
+    def test_build_min_count(self):
+        docs = [["a", "a", "b"]]
+        v = Vocabulary.build(docs, min_count=2)
+        assert "a" in v and "b" not in v
+
+    def test_build_ties_broken_alphabetically(self):
+        v = Vocabulary.build([["z", "a"]])
+        assert v.word(2) == "a"
+
+    def test_unknown_maps_to_unk(self):
+        v = Vocabulary(["a"])
+        assert v.id("zzz") == v.unk_id
+
+    def test_encode_decode_roundtrip(self):
+        v = Vocabulary(["hello", "world"])
+        ids = v.encode(["hello", "world"])
+        assert v.decode(ids) == ["hello", "world"]
+
+    def test_decode_drops_pad(self):
+        v = Vocabulary(["a"])
+        assert v.decode([0, 2, 0]) == ["a"]
+
+    def test_duplicate_words_deduped(self):
+        v = Vocabulary(["a", "a", "b"])
+        assert len(v) == 4
+
+    def test_encode_batch_pads_and_masks(self):
+        v = Vocabulary(["a", "b"])
+        ids, mask = v.encode_batch([["a"], ["a", "b"]], max_len=3)
+        assert ids.shape == (2, 3)
+        assert ids[0, 1] == v.pad_id
+        np.testing.assert_array_equal(mask, [[True, False, False], [True, True, False]])
+
+    def test_encode_batch_truncates(self):
+        v = Vocabulary(["a"])
+        ids, mask = v.encode_batch([["a"] * 10], max_len=4)
+        assert ids.shape == (1, 4)
+        assert mask.all()
+
+    def test_contains(self):
+        v = Vocabulary(["a"])
+        assert "a" in v and "q" not in v
+
+    def test_build_empty_corpus(self):
+        v = Vocabulary.build([])
+        assert len(v) == 2
+
+
+class TestSentenceSplit:
+    def test_basic_split(self):
+        toks = ["good", ".", "bad", "!"]
+        assert split_sentences(toks) == [["good", "."], ["bad", "!"]]
+
+    def test_no_terminal_trailing(self):
+        toks = ["a", ".", "b"]
+        assert split_sentences(toks) == [["a", "."], ["b"]]
+
+    def test_question_mark(self):
+        assert split_sentences(["why", "?"]) == [["why", "?"]]
+
+    def test_empty(self):
+        assert split_sentences([]) == []
+
+    def test_join_inverts_split(self):
+        toks = ["x", "y", ".", "z", "!", "w"]
+        assert join_sentences(split_sentences(toks)) == toks
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b", ".", "!", "?", "word"]), max_size=30))
+def test_property_split_join_roundtrip(tokens):
+    assert join_sentences(split_sentences(tokens)) == tokens
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(alphabet="abc .!?,XYZ'", max_size=60))
+def test_property_tokenize_idempotent_through_detokenize(text):
+    toks = tokenize(text)
+    assert tokenize(detokenize(toks)) == toks
