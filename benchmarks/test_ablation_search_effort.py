@@ -7,7 +7,6 @@ Quantifies how much attack success each extra rung of search effort buys
 (and what the paper's efficient middle rungs leave on the table).
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.attacks import (

@@ -12,7 +12,7 @@ import numpy as np
 from benchmarks.conftest import run_once
 from repro.attacks import GradientGuidedGreedyAttack
 from repro.eval.metrics import evaluate_attack
-from repro.models import AttentionClassifier, GRUClassifier, TrainConfig, fit
+from repro.models import AttentionClassifier, GRUClassifier, fit
 from repro.text import embedding_matrix_for_vocab
 
 

@@ -1,0 +1,136 @@
+"""Inference-layer perf regression harness.
+
+Measures the two halves of the fast inference layer on the cached seed
+victims and writes ``BENCH_inference.json`` at the repo root (stable
+schema ``{metric: {"value": ..., "unit": ...}}``) so successive PRs have a
+perf trajectory:
+
+1. **Length-bucketed batching** — ``predict_proba`` bucketed vs the legacy
+   pad-to-``max_len`` path: identical probabilities (≤ 1e-10), fewer
+   padded timesteps, measured docs/sec on the LSTM (the architecture that
+   pays per timestep).
+2. **Candidate score caching + lazy greedy** — the joint greedy attack
+   (Alg. 1 with the objective-greedy word stage) with the fast
+   configuration (ScoreCache + CELF ``strategy="lazy"``) vs the naive
+   baseline (no cache, full rescans): the acceptance bar is a ≥2×
+   reduction in paid model forwards at no loss in attack success.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.eval.perf import PerfRecorder, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_inference.json"
+
+DATASET = "news"
+N_DOCS = 12
+
+
+def _attack_forwards(ctx, model, docs, targets, strategy, use_cache):
+    attack = ctx.make_attack(
+        "joint-greedy", model, DATASET, strategy=strategy, use_cache=use_cache
+    )
+    start = time.perf_counter()
+    results = [attack.attack(d, t) for d, t in zip(docs, targets)]
+    elapsed = time.perf_counter() - start
+    return {
+        "queries": sum(r.n_queries for r in results),
+        "cache_hits": sum(r.n_cache_hits for r in results),
+        "successes": sum(r.success for r in results),
+        "seconds": elapsed,
+    }
+
+
+def test_inference_perf(benchmark, ctx):
+    def run():
+        metrics: dict[str, tuple[float, str]] = {}
+
+        # -- part 1: bucketed batching on the recurrent victim ---------------
+        # (a) correctness sweep over the full mixed-length test set
+        lstm = ctx.model(DATASET, "lstm")
+        docs = ctx.dataset(DATASET).documents("test")
+        dense = lstm.predict_proba(docs, bucketed=False)
+        recorder = PerfRecorder()
+        lstm.perf = recorder
+        bucketed = lstm.predict_proba(docs, bucketed=True)
+        max_dev = float(np.abs(dense - bucketed).max())
+        assert max_dev < 1e-10, "bucketed probabilities must match unbucketed"
+        metrics["bucketed_max_abs_deviation"] = (max_dev, "probability")
+        metrics["bucketed_mean_padded_length"] = (
+            recorder.mean_padded_length(),
+            "tokens",
+        )
+        metrics["unbucketed_padded_length"] = (float(lstm.max_len), "tokens")
+        # (b) wall-time on the attack-shaped workload `_score_batch` issues:
+        # one batch of single-word variants of one (short) document — they
+        # share a length band, so bucketing pads to the document instead of
+        # max_len and the LSTM skips the all-padding timesteps
+        short = min(docs, key=len)
+        variants = [list(short) for _ in range(128)]
+        for i, variant in enumerate(variants):
+            variant[i % len(variant)] = "<unk>"
+        rounds = 5
+        lstm.perf = None
+        for bucket_flag in (False, True):  # warm both paths
+            lstm.predict_proba(variants, bucketed=bucket_flag)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            lstm.predict_proba(variants, bucketed=False)
+        t_dense = (time.perf_counter() - start) / rounds
+        start = time.perf_counter()
+        for _ in range(rounds):
+            lstm.predict_proba(variants, bucketed=True)
+        t_bucketed = (time.perf_counter() - start) / rounds
+        lstm.perf = ctx.perf
+        metrics["candidate_batch_docs_per_second_bucketed"] = (
+            len(variants) / t_bucketed,
+            "docs/s",
+        )
+        metrics["candidate_batch_docs_per_second_unbucketed"] = (
+            len(variants) / t_dense,
+            "docs/s",
+        )
+        metrics["candidate_batch_speedup"] = (t_dense / t_bucketed, "x")
+
+        # -- part 2: cache + lazy greedy on the joint greedy attack ----------
+        wcnn = ctx.model(DATASET, "wcnn")
+        attack_docs = ctx.dataset(DATASET).documents("test")[:N_DOCS]
+        targets = [1 - int(label) for label in wcnn.predict(attack_docs)]
+        naive = _attack_forwards(ctx, wcnn, attack_docs, targets, "scan", False)
+        fast = _attack_forwards(ctx, wcnn, attack_docs, targets, "lazy", True)
+        reduction = naive["queries"] / max(1, fast["queries"])
+        metrics["attack_forwards_naive"] = (float(naive["queries"]), "forwards")
+        metrics["attack_forwards_fast"] = (float(fast["queries"]), "forwards")
+        metrics["attack_forward_reduction"] = (reduction, "x")
+        metrics["attack_cache_hits_fast"] = (float(fast["cache_hits"]), "hits")
+        metrics["attack_seconds_naive"] = (naive["seconds"], "s")
+        metrics["attack_seconds_fast"] = (fast["seconds"], "s")
+        metrics["attack_success_naive"] = (naive["successes"] / N_DOCS, "rate")
+        metrics["attack_success_fast"] = (fast["successes"] / N_DOCS, "rate")
+        return metrics, naive, fast, reduction
+
+    metrics, naive, fast, reduction = run_once(benchmark, run)
+    payload = write_bench_json(BENCH_PATH, metrics)
+
+    print(f"\n=== Inference perf ({DATASET}) → {BENCH_PATH.name} ===")
+    for name, entry in payload.items():
+        print(f"  {name}: {entry['value']:.4g} {entry['unit']}")
+
+    # acceptance bars
+    assert reduction >= 2.0, (
+        f"cache + lazy greedy must at least halve model forwards on the joint "
+        f"greedy attack (got {naive['queries']} → {fast['queries']}, "
+        f"{reduction:.2f}x)"
+    )
+    assert fast["cache_hits"] > 0, "the ScoreCache should serve some hits"
+    assert fast["successes"] >= naive["successes"] - 1, (
+        "the fast path must not trade away attack success"
+    )
+    assert payload["candidate_batch_speedup"]["value"] > 1.2, (
+        "bucketing should beat pad-to-max_len on candidate batches"
+    )

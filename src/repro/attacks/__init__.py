@@ -14,6 +14,7 @@ Class                                  Paper reference
 
 from repro.attacks.base import Attack, AttackResult, count_word_changes
 from repro.attacks.beam import BeamSearchWordAttack
+from repro.attacks.cache import ScoreCache, score_key
 from repro.attacks.charflip import HOMOGLYPHS, CharFlipCandidates
 from repro.attacks.gradient_guided import GradientGuidedGreedyAttack
 from repro.attacks.gradient_word import GradientWordAttack
@@ -33,6 +34,8 @@ __all__ = [
     "Attack",
     "AttackResult",
     "count_word_changes",
+    "ScoreCache",
+    "score_key",
     "CharFlipCandidates",
     "HOMOGLYPHS",
     "ParaphraseConfig",

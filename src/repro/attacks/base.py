@@ -4,28 +4,51 @@ All attacks are *targeted* (paper Sec. 3): given a document and a target
 label ``y``, they search for a transformation maximizing ``C_y(V(T_l(x)))``
 subject to the paraphrasing budgets.  For binary classification the usual
 usage is ``target = 1 − predicted``.
+
+Model access goes through :meth:`Attack._score_batch`, which batches,
+dedups and (for deterministic victims) memoizes candidate scores via
+:class:`~repro.attacks.cache.ScoreCache` — see that module for the
+``n_queries`` / ``n_cache_hits`` accounting contract.
 """
 
 from __future__ import annotations
 
+import difflib
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.attacks.cache import ScoreCache, score_key
 from repro.models.base import TextClassifier
 
 __all__ = ["AttackResult", "Attack", "count_word_changes"]
 
 
 def count_word_changes(original: Sequence[str], adversarial: Sequence[str]) -> int:
-    """Number of positions where the two token lists differ.
+    """Number of word edits between the two token lists, under alignment.
 
-    Length changes (from sentence paraphrasing) are counted as the length
-    difference plus positional mismatches over the common prefix length.
+    Word-level substitutions keep positions, so for equal-length documents
+    this is the positional (Hamming) count — exactly the size of the
+    transformation support ``supp(l)``.  When a sentence paraphrase changes
+    the length, tokens shift and a positional comparison would charge every
+    downstream token; instead the documents are aligned with difflib
+    opcodes and edits are counted per aligned block (a replaced block costs
+    the larger of its two sides; insertions/deletions cost their length).
     """
-    common = min(len(original), len(adversarial))
-    diff = sum(1 for a, b in zip(original[:common], adversarial[:common]) if a != b)
-    return diff + abs(len(original) - len(adversarial))
+    original = list(original)
+    adversarial = list(adversarial)
+    if len(original) == len(adversarial):
+        return sum(1 for a, b in zip(original, adversarial) if a != b)
+    matcher = difflib.SequenceMatcher(a=original, b=adversarial, autojunk=False)
+    changes = 0
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "replace":
+            changes += max(i2 - i1, j2 - j1)
+        elif tag == "delete":
+            changes += i2 - i1
+        elif tag == "insert":
+            changes += j2 - j1
+    return changes
 
 
 @dataclass
@@ -40,7 +63,8 @@ class AttackResult:
     success: bool  # adversarial prediction == target label
     n_word_changes: int = 0
     n_sentence_changes: int = 0
-    n_queries: int = 0  # documents scored by the model
+    n_queries: int = 0  # model forwards actually paid
+    n_cache_hits: int = 0  # scores served from the per-call ScoreCache
     wall_time: float = 0.0
     stages: list[str] = field(default_factory=list)  # e.g. ["sentence", "word"]
 
@@ -50,22 +74,66 @@ class AttackResult:
 
 
 class Attack:
-    """Base class: owns the victim model and counts its queries."""
+    """Base class: owns the victim model and counts its queries.
+
+    ``use_cache`` enables the per-call :class:`ScoreCache`; it is
+    automatically suppressed whenever scoring is stochastic (victim in
+    training mode or with ``inference_dropout`` active), so Bayesian-dropout
+    scores are never memoized.
+    """
 
     name = "attack"
 
-    def __init__(self, model: TextClassifier) -> None:
+    def __init__(self, model: TextClassifier, use_cache: bool = True) -> None:
         self.model = model
+        self.use_cache = use_cache
         self._queries = 0
+        self._cache_hits = 0
+        self._cache: ScoreCache | None = None
+
+    def _caching_allowed(self) -> bool:
+        """Memoization is sound only for deterministic scoring.
+
+        Duck-typed: wrappers like ``SmoothedClassifier`` expose neither
+        ``training`` nor ``inference_dropout`` but are deterministic per
+        document by construction, so missing attributes count as safe.
+        """
+        if not self.use_cache:
+            return False
+        if getattr(self.model, "training", False):
+            return False
+        return not getattr(self.model, "inference_dropout", 0.0)
 
     # -- model access with query accounting --------------------------------
     def _score_batch(self, docs: list[list[str]], target_label: int) -> list[float]:
-        """``C_y`` for a batch of candidate documents."""
+        """``C_y`` for a batch of candidate documents (deduped + memoized)."""
         if not docs:
             return []
-        self._queries += len(docs)
-        probs = self.model.predict_proba(docs)
-        return probs[:, target_label].tolist()
+        cache = self._cache
+        if cache is None:
+            self._queries += len(docs)
+            probs = self.model.predict_proba(docs)
+            return probs[:, target_label].tolist()
+        # order-preserving dedup of the request, then forward only misses
+        unique: dict[tuple, list[str]] = {}
+        for doc in docs:
+            unique.setdefault(score_key(doc, target_label), list(doc))
+        scores: dict[tuple, float] = {}
+        missing: list[tuple] = []
+        for key in unique:
+            cached = cache.get(key)
+            if cached is None:
+                missing.append(key)
+            else:
+                scores[key] = cached
+        if missing:
+            probs = self.model.predict_proba([unique[key] for key in missing])
+            self._queries += len(missing)
+            for key, p in zip(missing, probs[:, target_label].tolist()):
+                cache.put(key, p)
+                scores[key] = p
+        self._cache_hits += len(docs) - len(missing)
+        return [scores[score_key(doc, target_label)] for doc in docs]
 
     def _score(self, doc: Sequence[str], target_label: int) -> float:
         return self._score_batch([list(doc)], target_label)[0]
@@ -79,9 +147,14 @@ class Attack:
         if not doc:
             raise ValueError("cannot attack an empty document")
         self._queries = 0
+        self._cache_hits = 0
+        self._cache = ScoreCache() if self._caching_allowed() else None
         start = time.perf_counter()
-        original_prob = self._score(doc, target_label)
-        adversarial, stages = self._run(doc, target_label)
+        try:
+            original_prob = self._score(doc, target_label)
+            adversarial, stages = self._run(doc, target_label)
+        finally:
+            self._cache = None  # scores are only valid within one call
         # Success is judged with deterministic inference: if the victim uses
         # Bayesian (inference-time) dropout during the *search* — the paper's
         # WCNN setting (Sec. 6.4) — the verdict must not depend on one noisy
@@ -105,6 +178,7 @@ class Attack:
             n_word_changes=count_word_changes(doc, adversarial),
             n_sentence_changes=stages.count("sentence"),
             n_queries=self._queries,
+            n_cache_hits=self._cache_hits,
             wall_time=elapsed,
             stages=sorted(set(stages)),
         )

@@ -32,8 +32,9 @@ class BeamSearchWordAttack(Attack):
         word_budget_ratio: float = 0.2,
         tau: float = 0.7,
         beam_width: int = 3,
+        use_cache: bool = True,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, use_cache=use_cache)
         if not 0.0 <= word_budget_ratio <= 1.0:
             raise ValueError("word_budget_ratio must be in [0, 1]")
         if not 0.0 < tau <= 1.0:

@@ -1,0 +1,71 @@
+"""Candidate score caching for the attack hot path.
+
+Greedy attacks re-score documents they have already paid a model forward
+for: the incumbent at the start of every stage, subset combinations during
+backward pruning, duplicate candidates inside one batch, and — under the
+lazy (CELF) strategy — candidates whose stale bounds get re-examined.
+:class:`ScoreCache` memoizes ``C_y(doc)`` keyed by
+``(tuple(doc), target_label)`` for the duration of one ``attack()`` call,
+so ``Attack._score_batch`` forwards only cache misses to the model.
+
+Accounting contract (see ``docs/architecture.md``):
+
+- ``AttackResult.n_queries``   — model forwards actually *paid*;
+- ``AttackResult.n_cache_hits`` — requested scores served without a
+  forward (cache hits plus intra-batch duplicates).
+
+Caching is only sound for deterministic scoring: ``Attack.attack()`` never
+installs a cache while the victim is in training mode or uses Bayesian
+inference-time dropout (``inference_dropout > 0``), where two forwards of
+the same document legitimately differ.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ScoreCache", "score_key"]
+
+
+def score_key(doc: Sequence[str], target_label: int) -> tuple:
+    """Canonical cache key for ``C_y(doc)``."""
+    return (tuple(doc), target_label)
+
+
+class ScoreCache:
+    """Memoizes ``C_y(doc)`` scores within one attack invocation.
+
+    A plain dict with hit/miss counters; unbounded by design — one attack
+    call scores at most a few thousand candidates, and the cache dies with
+    the call.
+    """
+
+    __slots__ = ("_scores", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._scores: dict[tuple, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._scores
+
+    def get(self, key: tuple) -> float | None:
+        """Cached score for ``key``, counting the lookup as hit or miss."""
+        score = self._scores.get(key)
+        if score is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return score
+
+    def put(self, key: tuple, score: float) -> None:
+        self._scores[key] = score
+
+    def clear(self) -> None:
+        self._scores.clear()
+        self.hits = 0
+        self.misses = 0

@@ -50,8 +50,9 @@ class GradientGuidedGreedyAttack(Attack):
         per_position_cap: int = 2,
         max_iterations: int = 50,
         selection: str = "modular",
+        use_cache: bool = True,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, use_cache=use_cache)
         if not 0.0 <= word_budget_ratio <= 1.0:
             raise ValueError("word_budget_ratio must be in [0, 1]")
         if not 0.0 < tau <= 1.0:

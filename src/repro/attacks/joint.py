@@ -10,12 +10,20 @@ Paraphrasing (Alg. 3) on the sentence-paraphrased document.
 
 This is the headline attack used for Table 2, Figure 4, Table 4 and the
 adversarial training of Table 5.
+
+Both stages score through the *same* per-call :class:`ScoreCache`, so the
+sentence-stage winner is never re-paid when the word stage starts, and the
+word stage's pruning subsets hit the scores the joint search already paid
+for.  ``word_attack="objective-greedy"`` swaps Alg. 3 for the greedy
+baseline word stage (with optional CELF ``strategy="lazy"``) — the
+configuration the inference-perf benchmark uses.
 """
 
 from __future__ import annotations
 
 from repro.attacks.base import Attack
 from repro.attacks.gradient_guided import GradientGuidedGreedyAttack
+from repro.attacks.greedy_word import ObjectiveGreedyWordAttack
 from repro.attacks.paraphrase import SentenceParaphraser, WordParaphraser
 from repro.attacks.sentence import GreedySentenceAttack
 from repro.models.base import TextClassifier
@@ -37,33 +45,67 @@ class JointParaphraseAttack(Attack):
         sentence_budget_ratio: float = 0.2,
         tau: float = 0.7,
         words_per_iteration: int = 5,
+        word_attack: str = "gradient-guided",
+        strategy: str = "scan",
+        use_cache: bool = True,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, use_cache=use_cache)
+        if word_attack not in ("gradient-guided", "objective-greedy"):
+            raise ValueError("word_attack must be 'gradient-guided' or 'objective-greedy'")
         self.sentence_stage = GreedySentenceAttack(
             model,
             sentence_paraphraser,
             sentence_budget_ratio=sentence_budget_ratio,
             tau=tau,
+            strategy=strategy,
+            use_cache=use_cache,
         )
-        self.word_stage = GradientGuidedGreedyAttack(
-            model,
-            word_paraphraser,
-            word_budget_ratio=word_budget_ratio,
-            tau=tau,
-            words_per_iteration=words_per_iteration,
-        )
+        if word_attack == "gradient-guided":
+            self.word_stage: Attack = GradientGuidedGreedyAttack(
+                model,
+                word_paraphraser,
+                word_budget_ratio=word_budget_ratio,
+                tau=tau,
+                words_per_iteration=words_per_iteration,
+                use_cache=use_cache,
+            )
+        else:
+            self.word_stage = ObjectiveGreedyWordAttack(
+                model,
+                word_paraphraser,
+                word_budget_ratio=word_budget_ratio,
+                tau=tau,
+                strategy=strategy,
+                use_cache=use_cache,
+            )
         self.tau = tau
+
+    def _run_stage(self, stage: Attack, doc: list[str], target_label: int):
+        """Run a sub-attack's search under this attack's query accounting.
+
+        The shared :class:`ScoreCache` is handed down so scores paid in one
+        stage are hits in the next.
+        """
+        stage._queries = 0
+        stage._cache_hits = 0
+        stage._cache = self._cache
+        try:
+            return stage._run(doc, target_label)
+        finally:
+            self._queries += stage._queries
+            self._cache_hits += stage._cache_hits
+            stage._cache = None
 
     def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
         # Stage 1: sentence paraphrasing (Alg. 2)
-        self.sentence_stage._queries = 0
-        after_sentences, sentence_stages = self.sentence_stage._run(doc, target_label)
-        self._queries += self.sentence_stage._queries
+        after_sentences, sentence_stages = self._run_stage(
+            self.sentence_stage, doc, target_label
+        )
         score = self._score(after_sentences, target_label)
         if score >= self.tau:
             return after_sentences, sentence_stages
         # Stage 2: word paraphrasing (Alg. 3) on the sentence-level output
-        self.word_stage._queries = 0
-        adversarial, word_stages = self.word_stage._run(after_sentences, target_label)
-        self._queries += self.word_stage._queries
+        adversarial, word_stages = self._run_stage(
+            self.word_stage, after_sentences, target_label
+        )
         return adversarial, sentence_stages + word_stages

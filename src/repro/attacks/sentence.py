@@ -6,6 +6,11 @@ increases ``C_y``, and repeats until τ is reached or at most ``λ_s · l``
 sentences have been paraphrased.  The paper deliberately does *not* use
 gradients here: sentence paraphrases change token counts, so gradients
 computed before the substitution no longer align with positions (Sec. 5.2).
+
+``strategy="lazy"`` swaps the full rescan for CELF lazy greedy (see
+:mod:`repro.attacks.greedy_word` for the rationale); sentence candidate
+sets are the paper's most expensive to score, so stale-bound reuse saves
+the most forwards here.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from repro.attacks.base import Attack
 from repro.attacks.paraphrase import SentenceParaphraser
 from repro.models.base import TextClassifier
+from repro.submodular.greedy import LazyMarginalHeap
 from repro.text.sentence import join_sentences
 
 __all__ = ["GreedySentenceAttack"]
@@ -29,17 +35,28 @@ class GreedySentenceAttack(Attack):
         paraphraser: SentenceParaphraser,
         sentence_budget_ratio: float = 0.2,
         tau: float = 0.7,
+        strategy: str = "scan",
+        use_cache: bool = True,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, use_cache=use_cache)
         if not 0.0 <= sentence_budget_ratio <= 1.0:
             raise ValueError("sentence_budget_ratio must be in [0, 1]")
         if not 0.0 < tau <= 1.0:
             raise ValueError("tau must be in (0, 1]")
+        if strategy not in ("scan", "lazy"):
+            raise ValueError("strategy must be 'scan' or 'lazy'")
         self.paraphraser = paraphraser
         self.sentence_budget_ratio = sentence_budget_ratio
         self.tau = tau
+        self.strategy = strategy
+
+    @staticmethod
+    def _apply(current: list[list[str]], j: int, sentence: list[str]) -> list[list[str]]:
+        return current[:j] + [list(sentence)] + current[j + 1 :]
 
     def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
+        if self.strategy == "lazy":
+            return self._run_lazy(doc, target_label)
         sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
         budget = int(round(self.sentence_budget_ratio * len(sentences)))
         current = [list(s) for s in sentences]
@@ -53,8 +70,7 @@ class GreedySentenceAttack(Attack):
                 for cand_sentence in neighbor_sets[j]:
                     if cand_sentence == current[j]:
                         continue
-                    variant = current[:j] + [list(cand_sentence)] + current[j + 1 :]
-                    candidates.append(join_sentences(variant))
+                    candidates.append(join_sentences(self._apply(current, j, cand_sentence)))
                     meta.append((j, list(cand_sentence)))
             if not candidates:
                 break
@@ -70,4 +86,70 @@ class GreedySentenceAttack(Attack):
             else:
                 paraphrased.add(j)
             stages.append("sentence")
+        return join_sentences(current), stages
+
+    def _run_lazy(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
+        """CELF variant over (sentence index, paraphrase index) moves."""
+        sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        budget = int(round(self.sentence_budget_ratio * len(sentences)))
+        current = [list(s) for s in sentences]
+        current_score = self._score(join_sentences(current), target_label)
+        paraphrased: set[int] = set()
+        stages: list[str] = []
+        if budget == 0 or current_score >= self.tau:
+            return join_sentences(current), stages
+        # moves are indexed, not hashed by content: (sentence j, candidate t)
+        moves: list[tuple[int, list[str]]] = [
+            (j, list(cand))
+            for j in neighbor_sets.attackable_sentences
+            for cand in neighbor_sets[j]
+        ]
+
+        def rebuild_heap() -> LazyMarginalHeap | None:
+            admissible = [i for i, (j, cand) in enumerate(moves) if cand != current[j]]
+            if not admissible:
+                return None
+            scores = self._score_batch(
+                [
+                    join_sentences(self._apply(current, moves[i][0], moves[i][1]))
+                    for i in admissible
+                ],
+                target_label,
+            )
+            heap = LazyMarginalHeap()
+            heap.push_all(
+                (i, s - current_score) for i, s in zip(admissible, scores)
+            )
+            return heap
+
+        heap = rebuild_heap()
+        fresh_heap = True
+        while heap is not None and current_score < self.tau and len(paraphrased) < budget:
+
+            def fresh_gain(idx: int) -> float | None:
+                j, cand = moves[idx]
+                if cand == current[j]:
+                    return None  # already applied
+                candidate = join_sentences(self._apply(current, j, cand))
+                return self._score_batch([candidate], target_label)[0] - current_score
+
+            picked = heap.select(fresh_gain, tolerance=1e-12)
+            if picked is None:
+                # stale bounds are exact only under submodularity: confirm
+                # exhaustion with one batched rescan before terminating
+                if fresh_heap:
+                    break
+                heap = rebuild_heap()
+                fresh_heap = True
+                continue
+            idx, gain = picked
+            j, new_sentence = moves[idx]
+            current[j] = new_sentence
+            current_score += gain
+            if new_sentence == sentences[j]:
+                paraphrased.discard(j)
+            else:
+                paraphrased.add(j)
+            stages.append("sentence")
+            fresh_heap = False
         return join_sentences(current), stages

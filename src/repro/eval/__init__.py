@@ -9,6 +9,7 @@ from repro.eval.human_sim import (
     run_human_evaluation,
 )
 from repro.eval.metrics import AttackEvaluation, evaluate_attack
+from repro.eval.perf import BucketStats, PerfRecorder, read_bench_json, write_bench_json
 from repro.eval.reporting import (
     format_markdown_table,
     format_percent,
@@ -20,6 +21,10 @@ from repro.eval.reporting import (
 __all__ = [
     "AttackEvaluation",
     "evaluate_attack",
+    "BucketStats",
+    "PerfRecorder",
+    "read_bench_json",
+    "write_bench_json",
     "SimulatedAnnotator",
     "HumanEvalResult",
     "run_human_evaluation",

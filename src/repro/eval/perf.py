@@ -1,0 +1,131 @@
+"""Perf instrumentation for the inference hot path.
+
+Every attack is a loop of batched model forwards, so the numbers that
+matter are: how many forwards were paid, how many documents they covered,
+how long they took, and how much padding the length buckets saved.  A
+:class:`PerfRecorder` collects exactly those; classifiers report into it
+when one is attached (``model.perf = recorder``), and
+:class:`~repro.experiments.common.ExperimentContext` attaches a shared
+recorder to every victim it builds.
+
+``write_bench_json`` serializes a metrics dict in the stable schema
+``{metric: {"value": ..., "unit": ...}}`` used by ``BENCH_inference.json``
+at the repo root, so successive PRs can diff perf trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["BucketStats", "PerfRecorder", "write_bench_json", "read_bench_json"]
+
+
+@dataclass
+class BucketStats:
+    """Aggregate statistics for one padded length."""
+
+    padded_len: int
+    n_batches: int = 0
+    n_docs: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class PerfRecorder:
+    """Counters and timers for model forwards and attack phases.
+
+    Thread-unsafe by design (the substrate is single-threaded NumPy);
+    recording is a few dict operations so it is safe to leave attached
+    even outside benchmarks.
+    """
+
+    n_forward_batches: int = 0
+    n_forward_docs: int = 0
+    forward_seconds: float = 0.0
+    buckets: dict[int, BucketStats] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    # -- model-side hooks ---------------------------------------------------
+    def record_forward(self, n_docs: int, padded_len: int, seconds: float) -> None:
+        """One batched forward pass of ``n_docs`` documents padded to ``padded_len``."""
+        self.n_forward_batches += 1
+        self.n_forward_docs += n_docs
+        self.forward_seconds += seconds
+        stats = self.buckets.setdefault(padded_len, BucketStats(padded_len))
+        stats.n_batches += 1
+        stats.n_docs += n_docs
+        stats.seconds += seconds
+
+    # -- generic counters/timers --------------------------------------------
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate wall-time under ``counters[name + "_seconds"]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.increment(f"{name}_seconds", time.perf_counter() - start)
+
+    # -- reporting ----------------------------------------------------------
+    def docs_per_second(self) -> float:
+        if self.forward_seconds <= 0.0:
+            return 0.0
+        return self.n_forward_docs / self.forward_seconds
+
+    def mean_padded_length(self) -> float:
+        """Document-weighted mean padded length — the bucketing win metric."""
+        if self.n_forward_docs == 0:
+            return 0.0
+        total = sum(s.padded_len * s.n_docs for s in self.buckets.values())
+        return total / self.n_forward_docs
+
+    def summary(self) -> dict:
+        return {
+            "n_forward_batches": self.n_forward_batches,
+            "n_forward_docs": self.n_forward_docs,
+            "forward_seconds": self.forward_seconds,
+            "docs_per_second": self.docs_per_second(),
+            "mean_padded_length": self.mean_padded_length(),
+            "buckets": {
+                str(k): {
+                    "n_batches": s.n_batches,
+                    "n_docs": s.n_docs,
+                    "seconds": s.seconds,
+                }
+                for k, s in sorted(self.buckets.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def reset(self) -> None:
+        self.n_forward_batches = 0
+        self.n_forward_docs = 0
+        self.forward_seconds = 0.0
+        self.buckets.clear()
+        self.counters.clear()
+
+
+def write_bench_json(path: str | Path, metrics: dict[str, tuple[float, str]]) -> dict:
+    """Write ``{metric: {"value": v, "unit": u}}`` sorted by metric name.
+
+    ``metrics`` maps metric name → ``(value, unit)``.  Returns the payload
+    that was written (useful for asserting on it in benchmarks).
+    """
+    payload = {
+        name: {"value": value, "unit": unit}
+        for name, (value, unit) in sorted(metrics.items())
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def read_bench_json(path: str | Path) -> dict:
+    """Read a ``write_bench_json`` file back into ``{metric: {value, unit}}``."""
+    return json.loads(Path(path).read_text())

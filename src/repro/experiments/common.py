@@ -49,6 +49,7 @@ from repro.data import (
     spam_lexicon,
 )
 from repro.data.lexicon import DomainLexicon
+from repro.eval.perf import PerfRecorder
 from repro.models import GRUClassifier, LSTMClassifier, TextClassifier, TrainConfig, WCNN, fit
 from repro.nn.serialization import load, save
 from repro.text import (
@@ -125,6 +126,9 @@ class ExperimentContext:
         self._vocabs: dict[str, Vocabulary] = {}
         self._lms: dict[str, NGramLM] = {}
         self._models: dict[tuple[str, str], TextClassifier] = {}
+        # one recorder shared by every victim this context builds; drivers
+        # and benchmarks read/reset it around the sections they measure
+        self.perf = PerfRecorder()
 
     # -- corpora -----------------------------------------------------------
     def dataset(self, name: str) -> TextDataset:
@@ -229,6 +233,7 @@ class ExperimentContext:
             fit(model, self.dataset(dataset).train, self.train_config())
             cache_file.parent.mkdir(parents=True, exist_ok=True)
             save(model, cache_file)
+        model.perf = self.perf
         self._models[key] = model
         return model
 
@@ -268,15 +273,20 @@ class ExperimentContext:
         dataset: str,
         word_budget: float = 0.2,
         sentence_budget: float | None = None,
+        strategy: str = "scan",
+        use_cache: bool = True,
     ) -> Attack:
         """Attack factory by method name.
 
-        Methods: ``joint`` (Alg. 1, ours), ``gradient-guided`` (Alg. 3),
+        Methods: ``joint`` (Alg. 1, ours), ``joint-greedy`` (Alg. 1 with the
+        objective-greedy word stage), ``gradient-guided`` (Alg. 3),
         ``objective-greedy`` ([19]), ``gradient`` ([18]), ``random``.
+        ``strategy`` selects scan vs CELF lazy greedy for the greedy
+        searches; ``use_cache`` toggles the per-call :class:`ScoreCache`.
         """
         wp = self.word_paraphraser(dataset)
         tau = self.settings.tau
-        if method == "joint":
+        if method in ("joint", "joint-greedy"):
             sb = sentence_budget if sentence_budget is not None else self.sentence_budget(dataset)
             return JointParaphraseAttack(
                 model,
@@ -285,11 +295,16 @@ class ExperimentContext:
                 word_budget_ratio=word_budget,
                 sentence_budget_ratio=sb,
                 tau=tau,
+                word_attack="objective-greedy" if method == "joint-greedy" else "gradient-guided",
+                strategy=strategy,
+                use_cache=use_cache,
             )
         if method == "gradient-guided":
-            return GradientGuidedGreedyAttack(model, wp, word_budget, tau=tau)
+            return GradientGuidedGreedyAttack(model, wp, word_budget, tau=tau, use_cache=use_cache)
         if method == "objective-greedy":
-            return ObjectiveGreedyWordAttack(model, wp, word_budget, tau=tau)
+            return ObjectiveGreedyWordAttack(
+                model, wp, word_budget, tau=tau, strategy=strategy, use_cache=use_cache
+            )
         if method == "gradient":
             return GradientWordAttack(model, wp, word_budget)
         if method == "random":

@@ -13,7 +13,8 @@ need:
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import time
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -32,6 +33,13 @@ class TextClassifier(Module):
     ``(B, T, D)`` embedding tensor (plus padding mask) to ``(B, C)`` logits.
     """
 
+    #: group documents whose (capped) lengths land in the same
+    #: ``bucket_granularity``-wide band into one forward pass
+    bucket_granularity: int = 8
+    #: length-bucketed inference default; ``predict_proba(bucketed=False)``
+    #: forces the legacy pad-to-``max_len`` path
+    bucketed_inference: bool = True
+
     def __init__(self, vocab: Vocabulary, embedding: Embedding, max_len: int) -> None:
         super().__init__()
         if max_len < 1:
@@ -39,6 +47,10 @@ class TextClassifier(Module):
         self.vocab = vocab
         self.embedding = embedding
         self.max_len = max_len
+        # duck-typed PerfRecorder (repro.eval.perf); models must not import
+        # eval, so anything with record_forward(n_docs, padded_len, seconds)
+        # works here
+        self.perf = None
 
     # -- to be provided by subclasses ---------------------------------------
     def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
@@ -59,20 +71,69 @@ class TextClassifier(Module):
         """Logits from an id matrix (training entry point)."""
         return self.forward_from_embeddings(self.embedding(token_ids), mask)
 
+    def padded_length(self, longest: int) -> int:
+        """Pad length for a bucket whose longest document has ``longest`` tokens.
+
+        Must yield the same output as padding to ``max_len``.  For models
+        whose masking fully isolates padding (recurrent state carry-through,
+        masked pooling/attention) the document length itself suffices;
+        models that look at windows crossing into padding override this
+        (see :meth:`repro.models.wcnn.WCNN.padded_length`).
+        """
+        return max(1, min(self.max_len, longest))
+
+    def _length_buckets(
+        self, docs: Sequence[Sequence[str]]
+    ) -> Iterator[tuple[list[int], int]]:
+        """Yield ``(doc indices, pad length)`` groups by bucketed length."""
+        groups: dict[int, list[int]] = {}
+        for i, doc in enumerate(docs):
+            capped = max(1, min(len(doc), self.max_len))
+            bucket = -(-capped // self.bucket_granularity)  # ceil division
+            groups.setdefault(bucket, []).append(i)
+        for bucket in sorted(groups):
+            indices = groups[bucket]
+            longest = max(min(len(docs[i]), self.max_len) for i in indices)
+            yield indices, self.padded_length(longest)
+
     def predict_proba(
-        self, docs: Sequence[Sequence[str]], batch_size: int = 128
+        self,
+        docs: Sequence[Sequence[str]],
+        batch_size: int = 128,
+        bucketed: bool | None = None,
     ) -> np.ndarray:
-        """Class probabilities for tokenized documents, ``(B, C)``."""
-        probs = []
-        with no_grad():
-            for start in range(0, len(docs), batch_size):
-                chunk = docs[start : start + batch_size]
-                ids, mask = self.encode(chunk)
-                logits = self.forward(ids, mask)
-                probs.append(softmax(logits, axis=-1).data)
-        if not probs:
+        """Class probabilities for tokenized documents, ``(B, C)``.
+
+        With ``bucketed`` (the default, see :attr:`bucketed_inference`),
+        documents are grouped by length band and each group is padded only
+        to its own :meth:`padded_length` instead of ``max_len`` — identical
+        probabilities, far fewer padding timesteps/windows.  Original order
+        is always restored.
+        """
+        if bucketed is None:
+            bucketed = self.bucketed_inference
+        n = len(docs)
+        if n == 0:
             return np.zeros((0, self.num_classes))
-        return np.concatenate(probs, axis=0)
+        if bucketed:
+            buckets = self._length_buckets(docs)
+        else:
+            buckets = iter([(list(range(n)), self.max_len)])
+        out = np.zeros((n, self.num_classes))
+        with no_grad():
+            for indices, pad_len in buckets:
+                for start in range(0, len(indices), batch_size):
+                    idx = indices[start : start + batch_size]
+                    chunk = [docs[i] for i in idx]
+                    tic = time.perf_counter()
+                    ids, mask = self.vocab.encode_batch(chunk, pad_len)
+                    logits = self.forward(ids, mask)
+                    out[idx] = softmax(logits, axis=-1).data
+                    if self.perf is not None:
+                        self.perf.record_forward(
+                            len(idx), pad_len, time.perf_counter() - tic
+                        )
+        return out
 
     def predict(self, docs: Sequence[Sequence[str]], batch_size: int = 128) -> np.ndarray:
         """Hard label predictions."""

@@ -52,6 +52,18 @@ class WCNN(TextClassifier):
         self._dropout_rng = np.random.default_rng(seed + 1)
         self.head = Dense(num_filters, 2, rng=rng)
 
+    def padded_length(self, longest: int) -> int:
+        """Bucket pad length preserving the pad-to-``max_len`` window set.
+
+        A window is real iff its *start* is real, so a document of length
+        ``n`` padded to ``max_len`` owns ``min(n, max_len − h + 1)`` windows,
+        the last ones reaching into padding.  Padding buckets to
+        ``longest + h − 1`` (capped at ``max_len``) reproduces exactly those
+        windows — and their contents, since padding rows are identical —
+        keeping bucketed probabilities equal to the unbucketed path.
+        """
+        return min(self.max_len, max(1, longest) + self.conv.kernel_size - 1)
+
     def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
         feats = self.conv(emb).relu()
         window_mask = self._window_mask(mask)

@@ -15,6 +15,7 @@ from repro.submodular.checks import (
 from repro.submodular.empirical import classifier_attack_set_function
 from repro.submodular.greedy import (
     GreedyResult,
+    LazyMarginalHeap,
     greedy_maximize,
     greedy_optimality_bound,
     lazy_greedy_maximize,
@@ -46,6 +47,7 @@ __all__ = [
     "ModularSetFunction",
     "GreedyResult",
     "greedy_maximize",
+    "LazyMarginalHeap",
     "lazy_greedy_maximize",
     "random_maximize",
     "greedy_optimality_bound",

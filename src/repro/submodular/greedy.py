@@ -11,6 +11,7 @@ the benchmarks quantify.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,11 +20,73 @@ from repro.submodular.set_function import CachedSetFunction, SetFunction
 
 __all__ = [
     "GreedyResult",
+    "LazyMarginalHeap",
     "greedy_maximize",
     "lazy_greedy_maximize",
     "random_maximize",
     "greedy_optimality_bound",
 ]
+
+
+class LazyMarginalHeap:
+    """Max-heap of stale marginal-gain upper bounds (Minoux / CELF).
+
+    The core of lazy greedy, factored out so the attack layer can reuse it
+    over arbitrary hashable elements (e.g. ``(position, word)`` pairs)
+    without importing the set-function machinery.  For submodular
+    objectives a stale gain upper-bounds the fresh gain, so only the top
+    element ever needs re-evaluation; :meth:`select` pops, re-evaluates,
+    and either accepts (fresh gain still dominates the next bound) or
+    re-inserts with the fresh bound.
+
+    The heap is deterministic: ties break on insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Hashable]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, element: Hashable, gain: float) -> None:
+        heapq.heappush(self._heap, (-gain, self._counter, element))
+        self._counter += 1
+
+    def push_all(self, gains: Iterable[tuple[Hashable, float]]) -> None:
+        for element, gain in gains:
+            self.push(element, gain)
+
+    def select(
+        self,
+        evaluate: Callable[[Hashable], float | None],
+        tolerance: float = 1e-12,
+        slack: float = 1e-15,
+    ) -> tuple[Hashable, float] | None:
+        """Return the element with the best fresh marginal gain, or ``None``.
+
+        ``evaluate(element)`` returns the fresh gain, or ``None`` to discard
+        the element permanently (e.g. its position was consumed).  Stops as
+        soon as the top stale bound drops to ``tolerance`` (no element can
+        improve) or a freshly evaluated gain dominates the next stale bound
+        (within ``slack``).  Accepted elements are removed from the heap.
+        """
+        while self._heap:
+            neg_stale, _, element = heapq.heappop(self._heap)
+            if -neg_stale <= tolerance:
+                # stale bounds only shrink: nothing below can improve either
+                self.push(element, -neg_stale)
+                return None
+            gain = evaluate(element)
+            if gain is None:
+                continue
+            if not self._heap or gain >= -self._heap[0][0] - slack:
+                if gain > tolerance:
+                    return element, gain
+                self.push(element, gain)
+                return None
+            self.push(element, gain)
+        return None
 
 
 @dataclass
@@ -81,21 +144,16 @@ def lazy_greedy_maximize(f: SetFunction, budget: int, tolerance: float = 1e-12) 
     current = cached.evaluate(())
     selected: list[int] = []
     trajectory: list[float] = []
-    # heap entries: (-stale_gain, element)
-    heap = [(-float("inf"), e) for e in f.ground_set]
-    heapq.heapify(heap)
+    heap = LazyMarginalHeap()
+    heap.push_all((e, float("inf")) for e in sorted(f.ground_set))
     for _ in range(min(budget, f.ground_set_size)):
-        best_elem = None
-        while heap:
-            neg_stale, e = heapq.heappop(heap)
-            gain = cached.evaluate(frozenset(selected) | {e}) - current
-            if not heap or gain >= -heap[0][0] - 1e-15:
-                if gain > tolerance:
-                    best_elem, best_gain = e, gain
-                break
-            heapq.heappush(heap, (-gain, e))
-        if best_elem is None:
+        picked = heap.select(
+            lambda e: cached.evaluate(frozenset(selected) | {e}) - current,
+            tolerance=tolerance,
+        )
+        if picked is None:
             break
+        best_elem, best_gain = picked
         selected.append(best_elem)
         current += best_gain
         trajectory.append(current)

@@ -25,6 +25,18 @@ class TestAttackResultHelpers:
     def test_count_word_changes_both(self):
         assert count_word_changes(["a", "b"], ["x", "b", "c"]) == 2
 
+    def test_count_word_changes_shifted_paraphrase(self):
+        # inserting one word early must not charge every shifted token
+        original = "the movie was great and i loved it".split()
+        adversarial = ["honestly"] + original
+        assert count_word_changes(original, adversarial) == 1
+
+    def test_count_word_changes_phrase_replacement(self):
+        # a 1→2 word rewrite costs the larger side, nothing downstream
+        original = "it was very good overall in my view".split()
+        adversarial = "it was really quite good overall in my view".split()
+        assert count_word_changes(original, adversarial) == 2
+
     def test_prob_gain(self):
         r = AttackResult(["a"], ["b"], 1, 0.2, 0.6, True)
         assert r.prob_gain == pytest.approx(0.4)
@@ -80,10 +92,17 @@ def _attack_invariants(result: AttackResult, doc, budget_ratio):
 
 ATTACK_FACTORIES = {
     "objective-greedy": lambda m, wp, sp: ObjectiveGreedyWordAttack(m, wp, 0.2),
+    "objective-greedy-lazy": lambda m, wp, sp: ObjectiveGreedyWordAttack(
+        m, wp, 0.2, strategy="lazy"
+    ),
     "gradient": lambda m, wp, sp: GradientWordAttack(m, wp, 0.2),
     "gradient-guided": lambda m, wp, sp: GradientGuidedGreedyAttack(m, wp, 0.2),
     "sentence": lambda m, wp, sp: GreedySentenceAttack(m, sp, 0.4),
+    "sentence-lazy": lambda m, wp, sp: GreedySentenceAttack(m, sp, 0.4, strategy="lazy"),
     "joint": lambda m, wp, sp: JointParaphraseAttack(m, wp, sp, 0.2, 0.4),
+    "joint-lazy": lambda m, wp, sp: JointParaphraseAttack(
+        m, wp, sp, 0.2, 0.4, word_attack="objective-greedy", strategy="lazy"
+    ),
     "random": lambda m, wp, sp: RandomWordAttack(m, wp, 0.2),
 }
 
@@ -135,6 +154,65 @@ class TestGreedyWordAttack:
         large = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.3)
         doc, target = attackable_docs[2]
         assert large.attack(doc, target).adversarial_prob >= small.attack(doc, target).adversarial_prob - 1e-9
+
+
+class TestLazyStrategy:
+    """CELF (``strategy="lazy"``) vs the full-rescan scan path."""
+
+    def test_invalid_strategy_rejected(self, victim, word_paraphraser, sentence_paraphraser):
+        with pytest.raises(ValueError):
+            ObjectiveGreedyWordAttack(victim, word_paraphraser, strategy="psychic")
+        with pytest.raises(ValueError):
+            GreedySentenceAttack(victim, sentence_paraphraser, strategy="psychic")
+        with pytest.raises(ValueError):
+            JointParaphraseAttack(
+                victim, word_paraphraser, sentence_paraphraser, strategy="psychic"
+            )
+
+    def test_lazy_pays_fewer_forwards(self, victim, word_paraphraser, attackable_docs):
+        scan = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2, strategy="scan")
+        lazy = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2, strategy="lazy")
+        q_scan = sum(scan.attack(d, t).n_queries for d, t in attackable_docs[:6])
+        q_lazy = sum(lazy.attack(d, t).n_queries for d, t in attackable_docs[:6])
+        assert q_lazy <= q_scan
+
+    def test_lazy_matches_scan_quality(self, victim, word_paraphraser, attackable_docs):
+        scan = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2, strategy="scan")
+        lazy = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2, strategy="lazy")
+        p_scan = np.mean([scan.attack(d, t).adversarial_prob for d, t in attackable_docs[:6]])
+        p_lazy = np.mean([lazy.attack(d, t).adversarial_prob for d, t in attackable_docs[:6]])
+        assert p_lazy >= p_scan - 0.05
+
+    def test_lazy_never_decreases_objective(self, victim, word_paraphraser, attackable_docs):
+        lazy = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2, strategy="lazy")
+        for doc, target in attackable_docs[:4]:
+            result = lazy.attack(doc, target)
+            assert result.adversarial_prob >= result.original_prob - 1e-9
+
+    def test_lazy_zero_budget_identity(self, victim, word_paraphraser, attackable_docs):
+        lazy = ObjectiveGreedyWordAttack(
+            victim, word_paraphraser, word_budget_ratio=0.0, strategy="lazy"
+        )
+        doc, target = attackable_docs[0]
+        assert lazy.attack(doc, target).adversarial == list(doc)
+
+    def test_lazy_respects_word_budget(self, victim, word_paraphraser, attackable_docs):
+        lazy = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2, strategy="lazy")
+        doc, target = attackable_docs[0]
+        result = lazy.attack(doc, target)
+        n_changed = sum(a != b for a, b in zip(doc, result.adversarial))
+        assert n_changed <= int(0.2 * len(doc))
+
+    def test_lazy_sentence_budget_respected(self, victim, sentence_paraphraser, attackable_docs):
+        from repro.text.sentence import split_sentences
+
+        lazy = GreedySentenceAttack(
+            victim, sentence_paraphraser, sentence_budget_ratio=0.3, strategy="lazy"
+        )
+        doc, target = attackable_docs[0]
+        result = lazy.attack(doc, target)
+        n_sentences = len(split_sentences(doc))
+        assert result.n_sentence_changes <= max(1, int(round(0.3 * n_sentences)))
 
 
 class TestGradientGuidedAttack:

@@ -1,6 +1,5 @@
 """Tests for the URL domain (Table 1 generality)."""
 
-import numpy as np
 import pytest
 
 from repro.data.urls import (

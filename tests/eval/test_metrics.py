@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.attacks import ObjectiveGreedyWordAttack, RandomWordAttack
-from repro.data.datasets import Example
 from repro.eval.metrics import evaluate_attack
 
 

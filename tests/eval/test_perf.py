@@ -1,0 +1,106 @@
+"""Tests for the perf instrumentation (PerfRecorder + BENCH json schema)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval import BucketStats, PerfRecorder, read_bench_json, write_bench_json
+
+
+class TestPerfRecorder:
+    def test_record_forward_accumulates(self):
+        rec = PerfRecorder()
+        rec.record_forward(n_docs=4, padded_len=16, seconds=0.5)
+        rec.record_forward(n_docs=2, padded_len=16, seconds=0.25)
+        rec.record_forward(n_docs=1, padded_len=64, seconds=1.25)
+        assert rec.n_forward_batches == 3
+        assert rec.n_forward_docs == 7
+        assert rec.forward_seconds == pytest.approx(2.0)
+        assert set(rec.buckets) == {16, 64}
+        assert rec.buckets[16] == BucketStats(16, n_batches=2, n_docs=6, seconds=0.75)
+
+    def test_docs_per_second(self):
+        rec = PerfRecorder()
+        assert rec.docs_per_second() == 0.0
+        rec.record_forward(10, 8, 2.0)
+        assert rec.docs_per_second() == pytest.approx(5.0)
+
+    def test_mean_padded_length_is_doc_weighted(self):
+        rec = PerfRecorder()
+        assert rec.mean_padded_length() == 0.0
+        rec.record_forward(3, 10, 0.1)
+        rec.record_forward(1, 50, 0.1)
+        assert rec.mean_padded_length() == pytest.approx((3 * 10 + 1 * 50) / 4)
+
+    def test_increment_and_timer(self):
+        rec = PerfRecorder()
+        rec.increment("attacks")
+        rec.increment("attacks", 2.0)
+        assert rec.counters["attacks"] == 3.0
+        with rec.timer("phase"):
+            pass
+        assert rec.counters["phase_seconds"] >= 0.0
+
+    def test_summary_roundtrips_through_json(self):
+        rec = PerfRecorder()
+        rec.record_forward(5, 12, 0.3)
+        rec.increment("n_attacks")
+        summary = rec.summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["n_forward_docs"] == 5
+        assert summary["buckets"]["12"]["n_docs"] == 5
+
+    def test_reset(self):
+        rec = PerfRecorder()
+        rec.record_forward(5, 12, 0.3)
+        rec.increment("x")
+        rec.reset()
+        assert rec.n_forward_batches == 0
+        assert rec.buckets == {}
+        assert rec.counters == {}
+
+
+class TestBenchJson:
+    def test_schema_and_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        payload = write_bench_json(
+            path, {"speedup": (2.5, "x"), "forwards": (120.0, "forwards")}
+        )
+        assert payload == {
+            "forwards": {"value": 120.0, "unit": "forwards"},
+            "speedup": {"value": 2.5, "unit": "x"},
+        }
+        assert read_bench_json(path) == payload
+
+    def test_sorted_and_stable_on_disk(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench_json(path, {"b": (1.0, "s"), "a": (2.0, "s")})
+        text = path.read_text()
+        assert text.index('"a"') < text.index('"b"')
+        assert text.endswith("\n")
+
+    def test_every_entry_has_value_and_unit(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        payload = write_bench_json(path, {"m": (np.float64(1.5), "x")})
+        for entry in payload.values():
+            assert set(entry) == {"value", "unit"}
+
+
+class TestModelIntegration:
+    def test_classifier_reports_into_attached_recorder(self, victim, atk_corpus):
+        rec = PerfRecorder()
+        docs = atk_corpus.documents("test")[:8]
+        victim.perf = rec
+        try:
+            victim.predict_proba(docs)
+        finally:
+            victim.perf = None
+        assert rec.n_forward_docs == len(docs)
+        assert rec.n_forward_batches >= 1
+        assert rec.forward_seconds > 0.0
+        # bucketed inference pads below max_len on these short docs
+        assert rec.mean_padded_length() <= victim.max_len
+
+    def test_no_recorder_is_the_default(self, victim):
+        assert victim.perf is None or isinstance(victim.perf, PerfRecorder)

@@ -1,6 +1,5 @@
 """Shared attack-test fixtures: a small trained WCNN victim + paraphrasers."""
 
-import numpy as np
 import pytest
 
 from repro.attacks import ParaphraseConfig, SentenceParaphraser, WordParaphraser

@@ -1,6 +1,5 @@
 """Shared fixtures: a tiny sentiment corpus and trained models."""
 
-import numpy as np
 import pytest
 
 from repro.data import CorpusConfig, make_sentiment_corpus, sentiment_lexicon

@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.models import LSTMClassifier, WCNN, evaluate
+from repro.models import WCNN, evaluate
 from repro.models.train import TrainConfig, fit
 from repro.nn.functional import softmax
 from repro.nn.tensor import Tensor
-from repro.text import Vocabulary
 from tests.gradcheck import numerical_grad
 from tests.models.conftest import MAX_LEN
 
@@ -65,6 +64,62 @@ class TestPredictAPI:
         long_doc = ["the"] * (MAX_LEN * 2)
         probs = trained_wcnn.predict_proba([long_doc])
         assert probs.shape == (1, 2)
+
+
+class TestBucketedInference:
+    """Length-bucketed batching must be a pure perf change: same probabilities."""
+
+    @pytest.mark.parametrize("model_fixture", ["trained_wcnn", "trained_lstm"])
+    def test_bucketed_matches_unbucketed(self, model_fixture, tiny_corpus, request):
+        model = request.getfixturevalue(model_fixture)
+        docs = tiny_corpus.documents("test")
+        dense = model.predict_proba(docs, bucketed=False)
+        bucketed = model.predict_proba(docs, bucketed=True)
+        np.testing.assert_allclose(bucketed, dense, atol=1e-10)
+
+    def test_bucketed_handles_extreme_lengths(self, trained_lstm):
+        docs = [["good"], ["bad", "bad"], ["the"] * (MAX_LEN * 2), ["fine"] * 7]
+        dense = trained_lstm.predict_proba(docs, bucketed=False)
+        bucketed = trained_lstm.predict_proba(docs, bucketed=True)
+        np.testing.assert_allclose(bucketed, dense, atol=1e-10)
+
+    def test_order_restored_across_buckets(self, trained_lstm, tiny_corpus):
+        # sort by length so buckets are filled out-of-order wrt the input
+        docs = sorted(tiny_corpus.documents("test")[:12], key=len, reverse=True)
+        one_by_one = np.vstack([trained_lstm.predict_proba([d]) for d in docs])
+        bucketed = trained_lstm.predict_proba(docs, bucketed=True)
+        np.testing.assert_allclose(bucketed, one_by_one, atol=1e-10)
+
+    def test_bucketed_respects_batch_size(self, trained_lstm, tiny_corpus):
+        docs = tiny_corpus.documents("test")[:10]
+        a = trained_lstm.predict_proba(docs, batch_size=3, bucketed=True)
+        b = trained_lstm.predict_proba(docs, batch_size=100, bucketed=True)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_wcnn_pad_covers_kernel(self, trained_wcnn):
+        # a doc shorter than the kernel must still produce one conv window
+        probs = trained_wcnn.predict_proba([["good"]], bucketed=True)
+        assert probs.shape == (1, 2)
+        np.testing.assert_allclose(
+            probs, trained_wcnn.predict_proba([["good"]], bucketed=False), atol=1e-10
+        )
+
+    def test_default_uses_class_flag(self, trained_lstm, tiny_corpus):
+        docs = tiny_corpus.documents("test")[:6]
+        default = trained_lstm.predict_proba(docs)
+        try:
+            trained_lstm.bucketed_inference = False
+            dense = trained_lstm.predict_proba(docs)
+        finally:
+            trained_lstm.bucketed_inference = True
+        np.testing.assert_allclose(default, dense, atol=1e-10)
+
+    def test_padded_length_capped_at_max_len(self, trained_wcnn, trained_lstm):
+        assert trained_lstm.padded_length(MAX_LEN * 3) == MAX_LEN
+        assert trained_wcnn.padded_length(MAX_LEN * 3) == MAX_LEN
+        kernel = trained_wcnn.conv.kernel_size
+        assert trained_wcnn.padded_length(1) == kernel
+        assert trained_lstm.padded_length(1) == 1
 
 
 class TestTrainedAccuracy:

@@ -1,7 +1,6 @@
 """Additional edge-case coverage for the nn substrate."""
 
 import numpy as np
-import pytest
 
 from repro.nn.functional import log_softmax, softmax
 from repro.nn.layers import Conv1d, Dense, Embedding

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.models.gru_classifier import GRUClassifier
 from repro.nn.rnn import GRU
 from repro.nn.tensor import Tensor
 from tests.gradcheck import assert_grad_matches

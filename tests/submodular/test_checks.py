@@ -1,7 +1,6 @@
 """Tests for monotonicity / submodularity verifiers."""
 
 import numpy as np
-import pytest
 
 from repro.submodular.checks import (
     check_monotone_exhaustive,

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.submodular.greedy import (
+    LazyMarginalHeap,
     greedy_maximize,
     greedy_optimality_bound,
     lazy_greedy_maximize,
@@ -106,6 +107,78 @@ class TestLazyGreedy:
     def test_stops_without_gain(self):
         f = ModularSetFunction([-1.0, -2.0])
         assert lazy_greedy_maximize(f, 2).selected == []
+
+
+class TestLazyMarginalHeap:
+    def test_select_returns_best_fresh_gain(self):
+        heap = LazyMarginalHeap()
+        heap.push_all([("a", 3.0), ("b", 2.0), ("c", 1.0)])
+        picked = heap.select(lambda e: {"a": 3.0, "b": 2.0, "c": 1.0}[e])
+        assert picked == ("a", 3.0)
+        assert len(heap) == 2  # accepted element is removed
+
+    def test_stale_bound_reinserted_and_next_tried(self):
+        heap = LazyMarginalHeap()
+        heap.push_all([("a", 5.0), ("b", 2.0)])
+        # a's fresh gain collapsed below b's stale bound → b wins
+        fresh = {"a": 0.5, "b": 2.0}
+        evaluations = []
+
+        def evaluate(e):
+            evaluations.append(e)
+            return fresh[e]
+
+        picked = heap.select(evaluate)
+        assert picked == ("b", 2.0)
+        assert evaluations == ["a", "b"]  # a re-evaluated first, then beaten
+        assert len(heap) == 1  # a stays with its refreshed bound
+
+    def test_lazy_skips_reevaluation_when_bound_dominates(self):
+        heap = LazyMarginalHeap()
+        heap.push_all([("a", 5.0), ("b", 2.0), ("c", 1.0)])
+        evaluations = []
+
+        def evaluate(e):
+            evaluations.append(e)
+            return 5.0  # fresh gain matches the stale bound
+
+        picked = heap.select(evaluate)
+        assert picked == ("a", 5.0)
+        assert evaluations == ["a"]  # b and c never touched — the CELF win
+
+    def test_discard_via_none(self):
+        heap = LazyMarginalHeap()
+        heap.push_all([("dead", 9.0), ("alive", 1.0)])
+        picked = heap.select(lambda e: None if e == "dead" else 1.0)
+        assert picked == ("alive", 1.0)
+        assert len(heap) == 0  # discarded element is gone for good
+
+    def test_returns_none_when_no_positive_gain(self):
+        heap = LazyMarginalHeap()
+        heap.push_all([("a", 1.0), ("b", 0.5)])
+        assert heap.select(lambda e: 0.0) is None
+        assert len(heap) == 2  # nothing was consumed
+
+    def test_returns_none_on_empty(self):
+        assert LazyMarginalHeap().select(lambda e: 1.0) is None
+
+    def test_stale_bounds_at_tolerance_short_circuit(self):
+        heap = LazyMarginalHeap()
+        heap.push_all([("a", 0.0), ("b", -1.0)])
+        evaluations = []
+
+        def evaluate(e):
+            evaluations.append(e)
+            return 0.0
+
+        assert heap.select(evaluate) is None
+        assert evaluations == []  # top bound ≤ tolerance → no evaluation at all
+
+    def test_deterministic_tie_break_on_insertion_order(self):
+        heap = LazyMarginalHeap()
+        heap.push_all([("first", 2.0), ("second", 2.0)])
+        picked = heap.select(lambda e: 2.0)
+        assert picked == ("first", 2.0)
 
 
 class TestRandomBaseline:

@@ -16,7 +16,6 @@ from repro.submodular.checks import (
     check_submodular_exhaustive,
 )
 from repro.submodular.greedy import greedy_maximize
-from repro.submodular.set_function import AttackSetFunction
 from repro.submodular.theory import (
     make_output_increasing_candidates_rnn,
     make_output_increasing_candidates_wcnn,
@@ -157,8 +156,6 @@ class TestTheorem2:
     def test_convex_activation_breaks_submodularity_possible(self):
         # Using a convex activation (softplus) violates Theorem 2's
         # concavity requirement; some instance should then fail the check.
-        from repro.models.theory_models import CONCAVE_ACTIVATIONS
-
         found = False
         for seed in range(40):
             model = ScalarRNN.random_instance(dim=2, seed=seed)

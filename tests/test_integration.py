@@ -6,14 +6,12 @@ real models, complementing the per-module unit tests.
 """
 
 import numpy as np
-import pytest
 
 from repro.attacks import JointParaphraseAttack
 from repro.attacks.transformations import apply_word_substitutions
-from repro.data.datasets import Example
 from repro.eval.metrics import evaluate_attack
 from repro.models.bow import BowClassifier
-from repro.models.train import TrainConfig, fit
+from repro.models.train import fit
 from repro.submodular.modular import modular_relaxation_bow
 from repro.text import Vocabulary
 
