@@ -18,6 +18,8 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.attacks.cache import ScoreCache, score_key
 from repro.models.base import TextClassifier
 
@@ -90,6 +92,27 @@ class Attack:
         self._queries = 0
         self._cache_hits = 0
         self._cache: ScoreCache | None = None
+
+    def reseed(self, seed: int) -> None:
+        """Reset every RNG stream this attack owns to a function of ``seed``.
+
+        The parallel corpus runner calls this with a per-*document* seed
+        before each attack so stochastic attacks produce identical results
+        no matter how documents are sharded across workers (1 worker and N
+        workers must agree).  Streams are discovered by introspection —
+        ``np.random.Generator`` attributes are replaced, plain ``seed``
+        integer attributes are rewritten, and sub-attacks (the joint
+        attack's stages) are reseeded recursively — so new attacks get
+        deterministic sharding for free.
+        """
+        for offset, name in enumerate(sorted(vars(self))):
+            value = getattr(self, name)
+            if isinstance(value, np.random.Generator):
+                setattr(self, name, np.random.default_rng((seed, offset)))
+            elif name == "seed" and isinstance(value, int):
+                self.seed = seed
+            elif isinstance(value, Attack) and value is not self:
+                value.reseed(seed)
 
     def _caching_allowed(self) -> bool:
         """Memoization is sound only for deterministic scoring.

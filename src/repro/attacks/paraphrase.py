@@ -78,17 +78,25 @@ class WordParaphraser:
         self.config = config or ParaphraseConfig()
         if self.config.delta_lm != float("inf") and lm is None:
             raise ValueError("a language model is required for a finite delta_lm")
+        # candidates_for_word is a pure function of (word, lexicon, vectors,
+        # config), all fixed after construction — memoize it so repeated
+        # words across a corpus pay the WMD filter once.
+        self._word_cache: dict[str, tuple[str, ...]] = {}
 
     def candidates_for_word(self, word: str) -> list[str]:
         """Synonym candidates passing the WMD similarity filter."""
-        cfg = self.config
-        out = []
-        for cand in self.lexicon.synonyms(word):
-            if word_similarity(word, cand, self.vectors) >= cfg.delta_w:
-                out.append(cand)
-            if len(out) >= cfg.k:
-                break
-        return out
+        cached = self._word_cache.get(word)
+        if cached is None:
+            cfg = self.config
+            out = []
+            for cand in self.lexicon.synonyms(word):
+                if word_similarity(word, cand, self.vectors) >= cfg.delta_w:
+                    out.append(cand)
+                if len(out) >= cfg.k:
+                    break
+            cached = tuple(out)
+            self._word_cache[word] = cached
+        return list(cached)
 
     def _lm_delta(self, tokens: list[str], position: int, new_word: str) -> float:
         """``|ln P(x) − ln P(x')|`` computed from the affected n-grams only.
@@ -141,6 +149,10 @@ class SentenceParaphraser:
         self.vectors = vectors
         self.config = config or ParaphraseConfig()
         self.n_synonym_variants = n_synonym_variants
+        # paraphrases() is deterministic per sentence (its RNG is seeded from
+        # the sentence content), so identical sentences across a corpus can
+        # share one relaxed-WMD filtering pass.
+        self._sentence_cache: dict[tuple[str, ...], tuple[tuple[str, ...], ...]] = {}
 
     # -- rewrite rules -----------------------------------------------------
     def _synonym_variants(self, sent: list[str], rng: np.random.Generator) -> list[list[str]]:
@@ -199,6 +211,10 @@ class SentenceParaphraser:
         sent = list(sentence)
         if not sent:
             return []
+        cache_key = tuple(sent)
+        hit = self._sentence_cache.get(cache_key)
+        if hit is not None:
+            return [list(c) for c in hit]
         cfg = self.config
         # zlib.crc32 (not hash()) keeps the per-sentence stream stable across
         # interpreter runs regardless of PYTHONHASHSEED.
@@ -221,6 +237,7 @@ class SentenceParaphraser:
                 out.append(cand)
             if len(out) >= cfg.k:
                 break
+        self._sentence_cache[cache_key] = tuple(tuple(c) for c in out)
         return out
 
     def neighbor_sets(self, tokens: Sequence[str]) -> tuple[list[list[str]], SentenceNeighborSets]:

@@ -9,6 +9,7 @@ from repro.eval.human_sim import (
     run_human_evaluation,
 )
 from repro.eval.metrics import AttackEvaluation, evaluate_attack
+from repro.eval.parallel import ParallelAttackRunner, fork_available, resolve_num_workers
 from repro.eval.perf import BucketStats, PerfRecorder, read_bench_json, write_bench_json
 from repro.eval.reporting import (
     format_markdown_table,
@@ -22,7 +23,10 @@ __all__ = [
     "AttackEvaluation",
     "evaluate_attack",
     "BucketStats",
+    "ParallelAttackRunner",
     "PerfRecorder",
+    "fork_available",
+    "resolve_num_workers",
     "read_bench_json",
     "write_bench_json",
     "SimulatedAnnotator",

@@ -11,12 +11,14 @@ Two views used by the paper:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.attacks.base import Attack, AttackResult
 from repro.data.datasets import Example
+from repro.eval.parallel import ParallelAttackRunner, resolve_num_workers
 from repro.models.base import TextClassifier
 
 __all__ = ["AttackEvaluation", "evaluate_attack"]
@@ -54,11 +56,17 @@ def evaluate_attack(
     examples: list[Example],
     max_examples: int | None = None,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> AttackEvaluation:
     """Attack every correctly-classified example and aggregate the outcome.
 
     The target label is always the flip of the true label (binary,
     untargeted-as-targeted, the paper's setting).
+
+    ``n_workers`` > 1 shards the per-document attack loop across forked
+    processes via :class:`~repro.eval.parallel.ParallelAttackRunner`
+    (results are deterministic in the worker count).  The default of
+    ``None`` stays serial unless ``REPRO_NUM_WORKERS`` is set.
     """
     if not examples:
         raise ValueError("cannot evaluate an attack on zero examples")
@@ -73,16 +81,30 @@ def evaluate_attack(
     correct = preds == labels
     clean_accuracy = float(correct.mean())
 
+    attacked = [
+        (i, docs[i], 1 - examples[i].label)
+        for i in range(len(examples))
+        if correct[i]
+        # misclassified examples are already errors; they stay unperturbed
+        # and remain errors in adversarial accuracy
+    ]
+
+    if n_workers is None and os.environ.get("REPRO_NUM_WORKERS", "").strip():
+        n_workers = resolve_num_workers(None)
+    if n_workers is not None and resolve_num_workers(n_workers) > 1:
+        runner = ParallelAttackRunner(attack, n_workers=n_workers, base_seed=seed)
+        attack_results = runner.run(
+            [doc for _, doc, _ in attacked], [t for _, _, t in attacked]
+        )
+    else:
+        attack_results = [attack.attack(doc, target) for _, doc, target in attacked]
+
     results: list[AttackResult] = []
     adv_examples: list[Example] = []
     still_correct = 0
-    for i, ex in enumerate(examples):
-        if not correct[i]:
-            continue  # already an error; stays an error in adversarial accuracy
-        target = 1 - ex.label
-        result = attack.attack(docs[i], target)
+    for (i, _, _), result in zip(attacked, attack_results):
         results.append(result)
-        adv_examples.append(Example(tuple(result.adversarial), ex.label))
+        adv_examples.append(Example(tuple(result.adversarial), examples[i].label))
         if not result.success:
             still_correct += 1
 

@@ -1,0 +1,200 @@
+"""Process-pool corpus attack runner.
+
+The per-document attack loop is embarrassingly parallel — each document's
+search touches the victim's weights read-only — but the substrate is
+single-threaded NumPy, so a serial corpus run leaves every core but one
+idle.  :class:`ParallelAttackRunner` shards documents across forked worker
+processes:
+
+- **fork-shared weights** — workers are created with the ``fork`` start
+  method, so the victim's parameter arrays are shared copy-on-write and
+  nothing model-sized is ever pickled;
+- **per-document seeded RNG** — before each document the worker calls
+  :meth:`repro.attacks.base.Attack.reseed` with a seed derived from the
+  document *index*, so results are identical for 1 and N workers no matter
+  how documents are sharded;
+- **chunked scheduling** — documents are dealt into contiguous chunks to
+  amortize task dispatch, with a chunk size that keeps every worker busy;
+- **ordered result merge** — results come back tagged with their document
+  index and are re-assembled into input order;
+- **merge-safe perf accounting** — each worker records forwards into its
+  own (fork-copied) :class:`~repro.eval.perf.PerfRecorder` and returns a
+  serializable snapshot per chunk; the parent folds snapshots into the
+  shared recorder, so ``n_queries``/wall-time stays correct under
+  parallelism;
+- **graceful serial fallback** — on platforms without ``fork`` (Windows,
+  ``spawn``-only configurations) or when one worker is requested, the
+  runner degrades to an in-process loop with the same reseeding, so
+  results never depend on the platform.
+
+``REPRO_NUM_WORKERS`` overrides the worker count everywhere the runner is
+wired in (``evaluate_attack``, the table drivers, the perf benchmark);
+unset, the runner defaults to ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Sequence
+
+from repro.attacks.base import Attack, AttackResult
+from repro.eval.perf import PerfRecorder
+
+__all__ = ["ParallelAttackRunner", "resolve_num_workers", "fork_available"]
+
+#: env var overriding the worker count for every runner-wired entry point
+NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_num_workers(n_workers: int | None = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_NUM_WORKERS`` > CPUs.
+
+    Returns 1 (serial) whenever ``fork`` is unavailable, regardless of the
+    request — the runner never pickles models through ``spawn``.
+    """
+    if n_workers is None:
+        env = os.environ.get(NUM_WORKERS_ENV, "").strip()
+        if env:
+            n_workers = int(env)
+        else:
+            n_workers = os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if not fork_available():
+        return 1
+    return n_workers
+
+
+def _document_seed(base_seed: int, doc_index: int) -> int:
+    """Stable per-document seed, independent of sharding."""
+    return (base_seed * 1_000_003 + doc_index) & 0x7FFFFFFF
+
+
+# Worker-side state, populated by the pool initializer.  With the fork
+# start method the initializer arguments are inherited through os.fork,
+# never pickled, so the attack (and the model weights hanging off it)
+# stay shared copy-on-write.
+_WORKER: dict = {}
+
+
+def _init_worker(attack: Attack, base_seed: int, track_perf: bool) -> None:
+    _WORKER["attack"] = attack
+    _WORKER["base_seed"] = base_seed
+    recorder = PerfRecorder() if track_perf else None
+    if recorder is not None:
+        attack.model.perf = recorder
+    _WORKER["recorder"] = recorder
+
+
+def _attack_chunk(items: list[tuple[int, list[str], int]]):
+    """Run one chunk; return indexed results + this chunk's perf snapshot."""
+    attack: Attack = _WORKER["attack"]
+    recorder: PerfRecorder | None = _WORKER["recorder"]
+    if recorder is not None:
+        recorder.reset()
+    out = []
+    for idx, doc, target in items:
+        attack.reseed(_document_seed(_WORKER["base_seed"], idx))
+        out.append((idx, attack.attack(doc, target)))
+    return out, (recorder.snapshot() if recorder is not None else None)
+
+
+class ParallelAttackRunner:
+    """Shard a corpus attack across worker processes.
+
+    Parameters
+    ----------
+    attack:
+        The attack to run; forked into each worker (weights shared
+        copy-on-write, per-worker mutable state independent).
+    n_workers:
+        Worker count; ``None`` resolves via :func:`resolve_num_workers`
+        (``REPRO_NUM_WORKERS`` override, then ``os.cpu_count()``).
+    chunk_size:
+        Documents per task.  ``None`` picks ``ceil(n_docs / (4 *
+        n_workers))`` — small enough to balance uneven per-document attack
+        cost, large enough to amortize dispatch.
+    base_seed:
+        Base of the per-document reseeding mix.
+    perf:
+        Recorder that receives the merged worker snapshots.  Defaults to
+        the attack's model recorder (``attack.model.perf``) when attached.
+    """
+
+    def __init__(
+        self,
+        attack: Attack,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        base_seed: int = 0,
+        perf: PerfRecorder | None = None,
+    ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.attack = attack
+        self.n_workers = resolve_num_workers(n_workers)
+        self.chunk_size = chunk_size
+        self.base_seed = base_seed
+        self.perf = perf if perf is not None else getattr(attack.model, "perf", None)
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self, docs: Sequence[Sequence[str]], targets: Sequence[int]
+    ) -> list[AttackResult]:
+        """Attack every ``(doc, target)`` pair; results in input order."""
+        if len(docs) != len(targets):
+            raise ValueError(
+                f"got {len(docs)} documents but {len(targets)} target labels"
+            )
+        items = [
+            (i, list(doc), int(target))
+            for i, (doc, target) in enumerate(zip(docs, targets))
+        ]
+        if not items:
+            return []
+        n_workers = min(self.n_workers, len(items))
+        if n_workers <= 1:
+            return self._run_serial(items)
+        return self._run_pool(items, n_workers)
+
+    def _run_serial(self, items: list[tuple[int, list[str], int]]) -> list[AttackResult]:
+        """In-process path: same reseeding, direct accounting."""
+        results = []
+        for idx, doc, target in items:
+            self.attack.reseed(_document_seed(self.base_seed, idx))
+            results.append(self.attack.attack(doc, target))
+        return results
+
+    def _chunks(
+        self, items: list[tuple[int, list[str], int]], n_workers: int
+    ) -> list[list[tuple[int, list[str], int]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(items) // (4 * n_workers)))
+        return [items[start : start + size] for start in range(0, len(items), size)]
+
+    def _run_pool(
+        self, items: list[tuple[int, list[str], int]], n_workers: int
+    ) -> list[AttackResult]:
+        track_perf = self.perf is not None
+        ctx = multiprocessing.get_context("fork")
+        results: dict[int, AttackResult] = {}
+        with ctx.Pool(
+            processes=n_workers,
+            initializer=_init_worker,
+            initargs=(self.attack, self.base_seed, track_perf),
+        ) as pool:
+            for chunk_results, snapshot in pool.imap_unordered(
+                _attack_chunk, self._chunks(items, n_workers)
+            ):
+                for idx, result in chunk_results:
+                    results[idx] = result
+                if snapshot is not None and self.perf is not None:
+                    self.perf.merge(snapshot)
+        return [results[i] for i in range(len(items))]

@@ -73,6 +73,48 @@ class PerfRecorder:
         finally:
             self.increment(f"{name}_seconds", time.perf_counter() - start)
 
+    # -- cross-process merging ----------------------------------------------
+    def snapshot(self) -> dict:
+        """Serializable (picklable, JSON-safe) copy of every counter.
+
+        Workers of the :class:`~repro.eval.parallel.ParallelAttackRunner`
+        record into their own (fork-copied) recorder and ship this snapshot
+        back; the parent folds it into the shared recorder with
+        :meth:`merge` so ``n_queries``/wall-time accounting stays correct
+        under parallelism.
+        """
+        return {
+            "n_forward_batches": self.n_forward_batches,
+            "n_forward_docs": self.n_forward_docs,
+            "forward_seconds": self.forward_seconds,
+            "buckets": {
+                int(k): {
+                    "n_batches": s.n_batches,
+                    "n_docs": s.n_docs,
+                    "seconds": s.seconds,
+                }
+                for k, s in self.buckets.items()
+            },
+            "counters": dict(self.counters),
+        }
+
+    def merge(self, snapshot: "dict | PerfRecorder") -> "PerfRecorder":
+        """Fold a :meth:`snapshot` (or another recorder) into this one."""
+        if isinstance(snapshot, PerfRecorder):
+            snapshot = snapshot.snapshot()
+        self.n_forward_batches += snapshot["n_forward_batches"]
+        self.n_forward_docs += snapshot["n_forward_docs"]
+        self.forward_seconds += snapshot["forward_seconds"]
+        for padded_len, entry in snapshot["buckets"].items():
+            padded_len = int(padded_len)
+            stats = self.buckets.setdefault(padded_len, BucketStats(padded_len))
+            stats.n_batches += entry["n_batches"]
+            stats.n_docs += entry["n_docs"]
+            stats.seconds += entry["seconds"]
+        for name, amount in snapshot["counters"].items():
+            self.increment(name, amount)
+        return self
+
     # -- reporting ----------------------------------------------------------
     def docs_per_second(self) -> float:
         if self.forward_seconds <= 0.0:

@@ -49,6 +49,7 @@ from repro.data import (
     spam_lexicon,
 )
 from repro.data.lexicon import DomainLexicon
+from repro.eval.parallel import ParallelAttackRunner
 from repro.eval.perf import PerfRecorder
 from repro.models import GRUClassifier, LSTMClassifier, TextClassifier, TrainConfig, WCNN, fit
 from repro.nn.serialization import load, save
@@ -116,16 +117,23 @@ class ExperimentContext:
         self,
         settings: ExperimentSettings | None = None,
         cache_dir: str | os.PathLike | None = None,
+        n_workers: int | None = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         default_cache = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache
+        #: worker count handed to evaluate_attack / ParallelAttackRunner by
+        #: the table drivers; None defers to REPRO_NUM_WORKERS (serial when
+        #: unset), so existing single-process workflows are unchanged
+        self.n_workers = n_workers
         self._datasets: dict[str, TextDataset] = {}
         self._lexicons: dict[str, DomainLexicon] = {}
         self._vectors: dict[str, dict[str, np.ndarray]] = {}
         self._vocabs: dict[str, Vocabulary] = {}
         self._lms: dict[str, NGramLM] = {}
         self._models: dict[tuple[str, str], TextClassifier] = {}
+        self._word_paraphrasers: dict[str, WordParaphraser] = {}
+        self._sentence_paraphrasers: dict[str, SentenceParaphraser] = {}
         # one recorder shared by every victim this context builds; drivers
         # and benchmarks read/reset it around the sections they measure
         self.perf = PerfRecorder()
@@ -248,19 +256,27 @@ class ExperimentContext:
         )
 
     def word_paraphraser(self, dataset: str) -> WordParaphraser:
-        return WordParaphraser(
-            self.lexicon(dataset),
-            self.vectors(dataset),
-            lm=self.language_model(dataset),
-            config=self.paraphrase_config(dataset),
-        )
+        # Memoized per dataset: paraphrasers are deterministic and carry
+        # pure word/sentence candidate caches, so sharing one instance
+        # across every attack on a dataset amortizes the WMD filtering
+        # over the whole corpus without changing any output.
+        if dataset not in self._word_paraphrasers:
+            self._word_paraphrasers[dataset] = WordParaphraser(
+                self.lexicon(dataset),
+                self.vectors(dataset),
+                lm=self.language_model(dataset),
+                config=self.paraphrase_config(dataset),
+            )
+        return self._word_paraphrasers[dataset]
 
     def sentence_paraphraser(self, dataset: str) -> SentenceParaphraser:
-        return SentenceParaphraser(
-            self.lexicon(dataset),
-            self.vectors(dataset),
-            config=self.paraphrase_config(dataset),
-        )
+        if dataset not in self._sentence_paraphrasers:
+            self._sentence_paraphrasers[dataset] = SentenceParaphraser(
+                self.lexicon(dataset),
+                self.vectors(dataset),
+                config=self.paraphrase_config(dataset),
+            )
+        return self._sentence_paraphrasers[dataset]
 
     def sentence_budget(self, dataset: str) -> float:
         """λ_s per paper Sec. 6.2: 60% for spam, 20% for news/yelp."""
@@ -310,3 +326,22 @@ class ExperimentContext:
         if method == "random":
             return RandomWordAttack(model, wp, word_budget, seed=self.settings.seed)
         raise KeyError(f"unknown attack method {method!r}")
+
+    def attack_runner(
+        self,
+        attack: Attack,
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> ParallelAttackRunner:
+        """A corpus runner for ``attack`` wired to this context's recorder.
+
+        Worker precedence: explicit arg, then the context's ``n_workers``,
+        then ``REPRO_NUM_WORKERS``/CPU count inside the runner.
+        """
+        return ParallelAttackRunner(
+            attack,
+            n_workers=n_workers if n_workers is not None else self.n_workers,
+            chunk_size=chunk_size,
+            base_seed=self.settings.seed,
+            perf=self.perf,
+        )

@@ -53,6 +53,7 @@ def run(
                     ),
                     test,
                     max_examples=max_examples,
+                    n_workers=context.n_workers,
                 )
                 points.append(Figure4Point(dataset, ls, lw, ev.success_rate))
     return points

@@ -47,12 +47,14 @@ def run(
                 context.make_attack("joint", model, dataset, word_budget=0.2),
                 test,
                 max_examples=max_examples,
+                n_workers=context.n_workers,
             )
             greedy = evaluate_attack(
                 model,
                 context.make_attack("objective-greedy", model, dataset, word_budget=0.5),
                 test,
                 max_examples=max_examples,
+                n_workers=context.n_workers,
             )
             rows.append(
                 Table2Row(

@@ -56,6 +56,7 @@ def run(
                     context.make_attack(method, model, dataset, word_budget=budget),
                     test,
                     max_examples=max_examples,
+                    n_workers=context.n_workers,
                 )
                 rows.append(
                     Table3Row(

@@ -13,12 +13,14 @@ need:
 
 from __future__ import annotations
 
+import contextlib
 import time
 from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from repro.nn.functional import softmax
+from repro.nn.inference import fused_kernel_for, softmax_np
 from repro.nn.layers import Embedding, Module
 from repro.nn.tensor import Tensor, no_grad
 from repro.text.vocab import Vocabulary
@@ -39,6 +41,9 @@ class TextClassifier(Module):
     #: length-bucketed inference default; ``predict_proba(bucketed=False)``
     #: forces the legacy pad-to-``max_len`` path
     bucketed_inference: bool = True
+    #: graph-free fused kernels (repro.nn.inference) for no-gradient scoring;
+    #: set False to force the autograd reference path everywhere
+    fused_inference: bool = True
 
     def __init__(self, vocab: Vocabulary, embedding: Embedding, max_len: int) -> None:
         super().__init__()
@@ -70,6 +75,30 @@ class TextClassifier(Module):
     def forward(self, token_ids: np.ndarray, mask: np.ndarray) -> Tensor:
         """Logits from an id matrix (training entry point)."""
         return self.forward_from_embeddings(self.embedding(token_ids), mask)
+
+    def _fused_active(self) -> bool:
+        """Whether the graph-free fast path may serve this model's scoring.
+
+        Three conditions: the class opted in (``fused_inference``), a kernel
+        is registered for the *exact* model type, and scoring is
+        deterministic — a model in training mode or with inference-time
+        (Bayesian) dropout draws from its own RNG stream inside the autograd
+        forward, which only the reference path reproduces.
+        """
+        if not self.fused_inference or self.training:
+            return False
+        if getattr(self, "inference_dropout", 0.0):
+            return False
+        return fused_kernel_for(self) is not None
+
+    def _probs_batch(self, token_ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Class probabilities for one encoded batch, fused when possible."""
+        kernel = fused_kernel_for(self) if self._fused_active() else None
+        if kernel is not None:
+            return softmax_np(kernel(self, token_ids, mask))
+        with no_grad():
+            logits = self.forward(token_ids, mask)
+            return softmax(logits, axis=-1).data
 
     def padded_length(self, longest: int) -> int:
         """Pad length for a bucket whose longest document has ``longest`` tokens.
@@ -120,19 +149,17 @@ class TextClassifier(Module):
         else:
             buckets = iter([(list(range(n)), self.max_len)])
         out = np.zeros((n, self.num_classes))
-        with no_grad():
-            for indices, pad_len in buckets:
-                for start in range(0, len(indices), batch_size):
-                    idx = indices[start : start + batch_size]
-                    chunk = [docs[i] for i in idx]
-                    tic = time.perf_counter()
-                    ids, mask = self.vocab.encode_batch(chunk, pad_len)
-                    logits = self.forward(ids, mask)
-                    out[idx] = softmax(logits, axis=-1).data
-                    if self.perf is not None:
-                        self.perf.record_forward(
-                            len(idx), pad_len, time.perf_counter() - tic
-                        )
+        for indices, pad_len in buckets:
+            for start in range(0, len(indices), batch_size):
+                idx = indices[start : start + batch_size]
+                chunk = [docs[i] for i in idx]
+                tic = time.perf_counter()
+                ids, mask = self.vocab.encode_batch(chunk, pad_len)
+                out[idx] = self._probs_batch(ids, mask)
+                if self.perf is not None:
+                    self.perf.record_forward(
+                        len(idx), pad_len, time.perf_counter() - tic
+                    )
         return out
 
     def predict(self, docs: Sequence[Sequence[str]], batch_size: int = 128) -> np.ndarray:
@@ -153,6 +180,26 @@ class TextClassifier(Module):
         return float(self.predict_proba([list(doc)])[0, target_label])
 
     # -- gradients for attacks ------------------------------------------------
+    @contextlib.contextmanager
+    def _parameters_detached(self) -> Iterator[None]:
+        """Temporarily exclude model parameters from the autograd graph.
+
+        ``embedding_gradient`` differentiates w.r.t. a fresh embedding leaf
+        only; with parameters still requiring grad, every backward pass also
+        accumulates into ``p.grad`` of every weight — work the attacks never
+        use, and stale gradients that would contaminate a later training
+        step unless the optimizer zeroes first.
+        """
+        params = self.parameters()
+        prev = [p.requires_grad for p in params]
+        for p in params:
+            p.requires_grad = False
+        try:
+            yield
+        finally:
+            for p, flag in zip(params, prev):
+                p.requires_grad = flag
+
     def embedding_gradient(
         self, doc: Sequence[str], target_label: int
     ) -> np.ndarray:
@@ -167,9 +214,10 @@ class TextClassifier(Module):
             ids, mask = self.encode([list(doc)])
             emb_values = self.embedding.weight.data[ids]
             emb = Tensor(emb_values, requires_grad=True)
-            logits = self.forward_from_embeddings(emb, mask)
-            prob = softmax(logits, axis=-1)[0, target_label]
-            prob.backward()
+            with self._parameters_detached():
+                logits = self.forward_from_embeddings(emb, mask)
+                prob = softmax(logits, axis=-1)[0, target_label]
+                prob.backward()
             grad = emb.grad[0]
         finally:
             if was_training:

@@ -13,7 +13,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.nn.layers import Dense
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 from repro.nn.functional import softmax
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import Adam
@@ -65,7 +65,10 @@ class BowClassifier(Module):
         return self
 
     def predict_proba(self, docs: Sequence[Sequence[str]]) -> np.ndarray:
-        return softmax(self.forward(self.featurize(docs)), axis=-1).data
+        # scoring never backprops; without no_grad every call would record
+        # an autograd graph hanging off the head parameters
+        with no_grad():
+            return softmax(self.forward(self.featurize(docs)), axis=-1).data
 
     def feature_gradient(self, doc: Sequence[str], target_label: int) -> np.ndarray:
         """``∇ C_y`` w.r.t. the bag-of-words feature vector (length ``|V|``).

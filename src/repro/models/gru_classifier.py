@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.inference import dense_np, gru_forward_np, register_fused_kernel
 from repro.nn.layers import Dense, Embedding
 from repro.nn.rnn import GRU
 from repro.nn.tensor import Tensor
@@ -44,3 +45,17 @@ class GRUClassifier(TextClassifier):
 
     def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
         return self.head(self.gru(emb, mask=mask))
+
+
+def _gru_fused_logits(
+    model: GRUClassifier, token_ids: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    emb = model.embedding.weight.data[token_ids]
+    h = gru_forward_np(
+        emb, mask, model.gru.w_x.data, model.gru.w_h.data, model.gru.bias.data
+    )
+    head = model.head
+    return dense_np(h, head.weight.data, head.bias.data if head.bias is not None else None)
+
+
+register_fused_kernel(GRUClassifier, _gru_fused_logits)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.inference import dense_np, lstm_forward_np, register_fused_kernel
 from repro.nn.layers import Dense, Embedding
 from repro.nn.rnn import LSTM
 from repro.nn.tensor import Tensor
@@ -45,3 +46,17 @@ class LSTMClassifier(TextClassifier):
     def forward_from_embeddings(self, emb: Tensor, mask: np.ndarray) -> Tensor:
         h, _ = self.lstm(emb, mask=mask)
         return self.head(h)
+
+
+def _lstm_fused_logits(
+    model: LSTMClassifier, token_ids: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    emb = model.embedding.weight.data[token_ids]
+    h, _ = lstm_forward_np(
+        emb, mask, model.lstm.w_x.data, model.lstm.w_h.data, model.lstm.bias.data
+    )
+    head = model.head
+    return dense_np(h, head.weight.data, head.bias.data if head.bias is not None else None)
+
+
+register_fused_kernel(LSTMClassifier, _lstm_fused_logits)

@@ -14,6 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.functional import dropout as dropout_fn
+from repro.nn.inference import (
+    conv1d_np,
+    dense_np,
+    max_over_time_np,
+    register_fused_kernel,
+)
 from repro.nn.layers import Conv1d, Dense, Embedding, MaxOverTime
 from repro.nn.tensor import Tensor
 from repro.models.base import TextClassifier
@@ -82,3 +88,23 @@ class WCNN(TextClassifier):
         """
         starts = self.conv.window_starts(mask.shape[1])
         return np.asarray(mask)[:, starts]
+
+
+def _wcnn_fused_logits(model: WCNN, token_ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    emb = model.embedding.weight.data[token_ids]
+    feats = np.maximum(
+        conv1d_np(
+            emb,
+            model.conv.weight.data,
+            model.conv.bias.data,
+            model.conv.kernel_size,
+            model.conv.stride,
+        ),
+        0.0,
+    )
+    pooled = max_over_time_np(feats, model._window_mask(mask), MaxOverTime.NEG)
+    head = model.head
+    return dense_np(pooled, head.weight.data, head.bias.data if head.bias is not None else None)
+
+
+register_fused_kernel(WCNN, _wcnn_fused_logits)

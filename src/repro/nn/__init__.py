@@ -7,6 +7,11 @@ gradient-guided greedy attack (Algorithm 3).
 """
 
 from repro.nn.functional import dropout, log_softmax, relu, sigmoid, softmax, tanh
+from repro.nn.inference import (
+    fused_kernel_for,
+    register_fused_kernel,
+    softmax_np,
+)
 from repro.nn.layers import (
     Conv1d,
     Dense,
@@ -58,4 +63,7 @@ __all__ = [
     "load_state_dict",
     "save",
     "load",
+    "register_fused_kernel",
+    "fused_kernel_for",
+    "softmax_np",
 ]

@@ -1,0 +1,240 @@
+"""Graph-free fused inference kernels.
+
+Every ``predict_proba`` call used to walk the reverse-mode autograd
+machinery in :mod:`repro.nn.tensor` — one Python-level :class:`Tensor`
+allocation per op, per timestep of the recurrent loops — even under
+``no_grad()``.  For the attack workload (thousands of small candidate
+batches) that Python overhead dominates the actual FLOPs.
+
+This module provides pure-NumPy *fused* forward kernels that read weights
+straight out of the trained ``Module`` parameters: a single fused gate
+matmul per LSTM/GRU timestep over preallocated state buffers, conv-as-matmul
+for the WCNN, and a NumPy softmax replicating the exact op sequence of
+:func:`repro.nn.functional.softmax`.  Each kernel performs bit-for-bit the
+same floating-point operations in the same order as the autograd path, so
+fused and reference probabilities agree exactly (the parity tests assert
+``<= 1e-12``; in practice the outputs are bitwise identical).
+
+Model classes opt in through :func:`register_fused_kernel`; dispatch
+happens in :meth:`repro.models.base.TextClassifier.predict_proba` whenever
+no gradient is needed and scoring is deterministic.  The autograd forward
+is kept untouched as the reference implementation — gradient-guided attacks
+still use it for the gradient step, and ``fused_inference = False`` (or an
+unregistered model class) falls back to it.
+
+Layering: this module depends on nothing but NumPy.  Model modules import
+it to register their kernels; it never imports ``repro.models``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "register_fused_kernel",
+    "fused_kernel_for",
+    "softmax_np",
+    "sigmoid_np",
+    "dense_np",
+    "conv1d_np",
+    "max_over_time_np",
+    "lstm_forward_np",
+    "gru_forward_np",
+    "rnn_forward_np",
+]
+
+# kernel signature: (model, token_ids (B, T) int, mask (B, T) bool) -> logits (B, C)
+FusedKernel = Callable[[object, np.ndarray, np.ndarray], np.ndarray]
+
+_REGISTRY: dict[type, FusedKernel] = {}
+
+M = TypeVar("M", bound=type)
+
+
+def register_fused_kernel(model_cls: type, kernel: FusedKernel) -> None:
+    """Register a graph-free forward for ``model_cls``.
+
+    Lookup is by *exact* type, never by subclass: a subclass overriding
+    ``forward_from_embeddings`` must not silently inherit a kernel that
+    computes something else.  Subclasses that keep the forward unchanged
+    can re-register the parent's kernel explicitly.
+    """
+    _REGISTRY[model_cls] = kernel
+
+
+def fused_kernel_for(model: object) -> FusedKernel | None:
+    """The registered kernel for ``type(model)``, or None (reference path)."""
+    return _REGISTRY.get(type(model))
+
+
+# ---------------------------------------------------------------------------
+# primitives — each replicates the autograd op sequence exactly
+# ---------------------------------------------------------------------------
+
+def softmax_np(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """``softmax`` with the exact op order of :func:`repro.nn.functional.softmax`.
+
+    That implementation computes ``exp(shifted - log(sum(exp(shifted))))``
+    with ``shifted = x - max(x)``; reproducing the same sequence keeps the
+    fused probabilities bitwise equal to the reference ones.
+    """
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return np.exp(shifted - np.log(e.sum(axis=axis, keepdims=True)))
+
+
+def sigmoid_np(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """``Tensor.sigmoid`` semantics: ``1 / (1 + exp(-clip(x, -60, 60)))``."""
+    z = np.clip(x, -60.0, 60.0)
+    if out is None:
+        return 1.0 / (1.0 + np.exp(-z))
+    np.negative(z, out=out)
+    np.exp(out, out=out)
+    out += 1.0
+    np.divide(1.0, out, out=out)
+    return out
+
+
+def dense_np(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None) -> np.ndarray:
+    """Affine head ``x W^T + b`` on raw arrays."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv1d_np(
+    emb: np.ndarray, weight: np.ndarray, bias: np.ndarray, kernel_size: int, stride: int = 1
+) -> np.ndarray:
+    """Conv-as-matmul over ``(B, T, D)``: im2col + one 2-D GEMM.
+
+    Gathers the same ``(B, n_win, h*D)`` windows as
+    :meth:`repro.nn.layers.Conv1d.forward` but collapses the batch and
+    window axes into a single 2-D GEMM (a 3-D ``matmul`` degrades to ``B``
+    small per-document GEMMs).  The per-output-element dot products run
+    over the identical ``h*D`` contraction in the same order, so the
+    result stays bitwise equal to the autograd path.
+    """
+    batch, seq_len, dim = emb.shape
+    n_filt = weight.shape[0]
+    starts = np.arange(0, seq_len - kernel_size + 1, stride)
+    n_win = len(starts)
+    win_idx = starts[:, None] + np.arange(kernel_size)[None, :]
+    flat = emb[:, win_idx, :].reshape(batch * n_win, kernel_size * dim)
+    return (flat @ weight.T).reshape(batch, n_win, n_filt) + bias
+
+
+def max_over_time_np(feats: np.ndarray, window_mask: np.ndarray, neg: float = -1e30) -> np.ndarray:
+    """Masked max-over-time pooling, matching :class:`repro.nn.layers.MaxOverTime`."""
+    penalty = np.where(np.asarray(window_mask, dtype=bool), 0.0, neg)[:, :, None]
+    return (feats + penalty).max(axis=1)
+
+
+def lstm_forward_np(
+    emb: np.ndarray,
+    mask: np.ndarray | None,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused LSTM recurrence over ``(B, T, D)``; returns ``(h, c)`` of ``(B, H)``.
+
+    One fused gate matmul per timestep (all input projections precomputed in
+    a single batched GEMM), state in preallocated buffers.  The arithmetic
+    mirrors :meth:`repro.nn.rnn.LSTM.forward` operation for operation:
+    ``gates = (x_proj_t + h W_h^T) + b``, sigmoid/tanh splits, masked state
+    carry-through via ``np.where``.
+    """
+    batch, seq_len, dim = emb.shape
+    hid = w_h.shape[1]
+    h = np.zeros((batch, hid))
+    c = np.zeros((batch, hid))
+    wx_t = w_x.T
+    wh_t = w_h.T
+    x_proj = (emb.reshape(batch * seq_len, dim) @ wx_t).reshape(batch, seq_len, 4 * hid)
+    gates = np.empty((batch, 4 * hid))
+    for t in range(seq_len):
+        np.matmul(h, wh_t, out=gates)
+        gates += x_proj[:, t, :]
+        gates += bias
+        i = sigmoid_np(gates[:, :hid])
+        f = sigmoid_np(gates[:, hid : 2 * hid])
+        g = np.tanh(gates[:, 2 * hid : 3 * hid])
+        o = sigmoid_np(gates[:, 3 * hid :])
+        c_new = f * c + i * g
+        h_new = o * np.tanh(c_new)
+        if mask is not None:
+            step = mask[:, t][:, None]
+            c = np.where(step, c_new, c)
+            h = np.where(step, h_new, h)
+        else:
+            c, h = c_new, h_new
+    return h, c
+
+
+def gru_forward_np(
+    emb: np.ndarray,
+    mask: np.ndarray | None,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+) -> np.ndarray:
+    """Fused GRU recurrence; returns the final hidden state ``(B, H)``.
+
+    Mirrors :meth:`repro.nn.rnn.GRU.forward`: joint update/reset projection,
+    reset-gated candidate, ``h = (1 - z) n + z h`` with masked carry-through.
+    """
+    batch, seq_len, dim = emb.shape
+    hid = w_h.shape[1]
+    h = np.zeros((batch, hid))
+    wx_t = w_x.T
+    wh_t = w_h.T
+    x_proj = (emb.reshape(batch * seq_len, dim) @ wx_t).reshape(batch, seq_len, 3 * hid)
+    hp = np.empty((batch, 3 * hid))
+    for t in range(seq_len):
+        xp = x_proj[:, t, :]
+        np.matmul(h, wh_t, out=hp)
+        z = sigmoid_np(xp[:, :hid] + hp[:, :hid] + bias[:hid])
+        r = sigmoid_np(xp[:, hid : 2 * hid] + hp[:, hid : 2 * hid] + bias[hid : 2 * hid])
+        n = np.tanh(xp[:, 2 * hid :] + r * hp[:, 2 * hid :] + bias[2 * hid :])
+        h_new = (1.0 - z) * n + z * h
+        if mask is not None:
+            step = mask[:, t][:, None]
+            h = np.where(step, h_new, h)
+        else:
+            h = h_new
+    return h
+
+
+_RNN_ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "tanh": np.tanh,
+    "sigmoid": sigmoid_np,
+    "relu": lambda x: np.maximum(x, 0.0),
+}
+
+
+def rnn_forward_np(
+    emb: np.ndarray,
+    mask: np.ndarray | None,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    activation: str = "tanh",
+) -> np.ndarray:
+    """Fused Elman recurrence matching :meth:`repro.nn.rnn.SimpleRNN.forward`."""
+    phi = _RNN_ACTIVATIONS[activation]
+    batch, seq_len, _ = emb.shape
+    hid = w_h.shape[1]
+    h = np.zeros((batch, hid))
+    wx_t = w_x.T
+    wh_t = w_h.T
+    for t in range(seq_len):
+        h_new = phi(emb[:, t, :] @ wx_t + h @ wh_t + bias)
+        if mask is not None:
+            step = mask[:, t][:, None]
+            h = np.where(step, h_new, h)
+        else:
+            h = h_new
+    return h

@@ -50,6 +50,10 @@ class NGramLM:
         total = sum(raw)
         self._lambdas = [w / total for w in raw]
         self._fitted = False
+        # token_log_prob is a pure function of (trailing context, token)
+        # once fitted; the attack's LM filter rescoring probes the same
+        # n-grams for every candidate at a position, so memoize.
+        self._logp_cache: dict[tuple[tuple[str, ...], str], float] = {}
 
     @property
     def vocab_size(self) -> int:
@@ -71,6 +75,7 @@ class NGramLM:
         if n_docs == 0:
             raise ValueError("cannot fit a language model on zero documents")
         self._fitted = True
+        self._logp_cache.clear()
         return self
 
     def _order_prob(self, k: int, context: tuple[str, ...], token: str) -> float:
@@ -82,14 +87,23 @@ class NGramLM:
     def token_log_prob(self, context: Sequence[str], token: str) -> float:
         """Interpolated ``ln P(token | context)`` (natural log)."""
         self._require_fitted()
-        ctx = [_BOS] * max(0, self.order - 1 - len(context)) + list(
-            context[-(self.order - 1) :] if self.order > 1 else []
-        )
-        prob = 0.0
-        for k in range(self.order):
-            sub = tuple(ctx[len(ctx) - k :]) if k > 0 else ()
-            prob += self._lambdas[k] * self._order_prob(k, sub, token)
-        return math.log(prob)
+        n_ctx = self.order - 1
+        ctx = tuple(context[-n_ctx:]) if n_ctx else ()
+        if len(ctx) < n_ctx:
+            ctx = (_BOS,) * (n_ctx - len(ctx)) + ctx
+        key = (ctx, token)
+        cached = self._logp_cache.get(key)
+        if cached is None:
+            av = self.alpha * self.vocab_size
+            prob = 0.0
+            for k in range(self.order):
+                sub = ctx[len(ctx) - k :] if k > 0 else ()
+                num = self._counts[k][sub + (token,)] + self.alpha
+                den = self._contexts[k][sub] + av
+                prob += self._lambdas[k] * (num / den)
+            cached = math.log(prob)
+            self._logp_cache[key] = cached
+        return cached
 
     def log_prob(self, tokens: Sequence[str]) -> float:
         """``ln P(tokens)`` including the end-of-sequence event."""

@@ -97,11 +97,18 @@ class Vocabulary:
 
         Documents longer than ``max_len`` are truncated.  Returns
         ``(ids, mask)`` where ``mask`` is True at real-token positions.
+
+        This runs once per candidate batch in the attack inner loop, so the
+        per-token lookup is inlined (bound ``dict.get``, list-to-row
+        assignment) instead of routing through :meth:`encode`.
         """
         batch = np.full((len(documents), max_len), self.pad_id, dtype=np.int64)
         mask = np.zeros((len(documents), max_len), dtype=bool)
+        get = self._ids.get
+        unk = self.unk_id
         for i, doc in enumerate(documents):
-            ids = self.encode(doc[:max_len])
-            batch[i, : len(ids)] = ids
-            mask[i, : len(ids)] = True
+            n = min(len(doc), max_len)
+            if n:
+                batch[i, :n] = [get(t, unk) for t in doc[:n]]
+                mask[i, :n] = True
         return batch, mask
