@@ -12,7 +12,7 @@ Class                                  Paper reference
 =====================================  ==========================================
 """
 
-from repro.attacks.base import Attack, AttackResult, count_word_changes
+from repro.attacks.base import Attack, AttackFailure, AttackResult, count_word_changes
 from repro.attacks.beam import BeamSearchWordAttack
 from repro.attacks.cache import ScoreCache, score_key
 from repro.attacks.charflip import HOMOGLYPHS, CharFlipCandidates
@@ -32,6 +32,7 @@ from repro.attacks.transformations import (
 
 __all__ = [
     "Attack",
+    "AttackFailure",
     "AttackResult",
     "count_word_changes",
     "ScoreCache",

@@ -16,14 +16,14 @@ from __future__ import annotations
 import difflib
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.attacks.cache import ScoreCache, score_key
 from repro.models.base import TextClassifier
 
-__all__ = ["AttackResult", "Attack", "count_word_changes"]
+__all__ = ["AttackResult", "AttackFailure", "Attack", "count_word_changes"]
 
 
 def count_word_changes(original: Sequence[str], adversarial: Sequence[str]) -> int:
@@ -73,6 +73,74 @@ class AttackResult:
     @property
     def prob_gain(self) -> float:
         return self.adversarial_prob - self.original_prob
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload that round-trips bitwise through :meth:`from_dict`.
+
+        Every field is a str/int/bool/float; ``json`` serializes floats via
+        ``repr`` so probabilities and wall-times survive a journal round-trip
+        exactly.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackResult":
+        return cls(
+            original=list(payload["original"]),
+            adversarial=list(payload["adversarial"]),
+            target_label=int(payload["target_label"]),
+            original_prob=float(payload["original_prob"]),
+            adversarial_prob=float(payload["adversarial_prob"]),
+            success=bool(payload["success"]),
+            n_word_changes=int(payload["n_word_changes"]),
+            n_sentence_changes=int(payload["n_sentence_changes"]),
+            n_queries=int(payload["n_queries"]),
+            n_cache_hits=int(payload["n_cache_hits"]),
+            wall_time=float(payload["wall_time"]),
+            stages=list(payload["stages"]),
+        )
+
+
+@dataclass
+class AttackFailure:
+    """Structured record of a document whose attack did not complete.
+
+    Produced by the fault-tolerant corpus runner instead of letting one
+    pathological document (an attack that raises, or one that kills its
+    worker process) abort the whole run.  Carries everything needed to
+    reproduce the failure in isolation: the document, the target label,
+    and the exact per-document seed the runner used.
+    """
+
+    doc_index: int  # seed index within the run (see parallel._document_seed)
+    target_label: int
+    error_type: str  # exception class name, e.g. "RuntimeError"
+    error_message: str
+    traceback: str  # formatted traceback; empty for worker crashes
+    seed: int  # the per-document seed in effect when the attack failed
+    original: list[str] = field(default_factory=list)
+
+    #: failed attacks never flip the prediction; mirroring
+    #: :attr:`AttackResult.success` lets aggregation code treat a mixed
+    #: outcome list uniformly
+    @property
+    def success(self) -> bool:
+        return False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackFailure":
+        return cls(
+            doc_index=int(payload["doc_index"]),
+            target_label=int(payload["target_label"]),
+            error_type=str(payload["error_type"]),
+            error_message=str(payload["error_message"]),
+            traceback=str(payload["traceback"]),
+            seed=int(payload["seed"]),
+            original=list(payload["original"]),
+        )
 
 
 class Attack:

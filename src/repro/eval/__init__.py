@@ -8,9 +8,23 @@ from repro.eval.human_sim import (
     make_canonicalizer,
     run_human_evaluation,
 )
+from repro.eval.journal import (
+    JournalError,
+    JournalMismatchError,
+    RunJournal,
+    corpus_fingerprint,
+)
 from repro.eval.metrics import AttackEvaluation, evaluate_attack
-from repro.eval.parallel import ParallelAttackRunner, fork_available, resolve_num_workers
+from repro.eval.parallel import (
+    ParallelAttackRunner,
+    RunnerFaultPolicy,
+    WorkerCountError,
+    WorkerCrashError,
+    fork_available,
+    resolve_num_workers,
+)
 from repro.eval.perf import BucketStats, PerfRecorder, read_bench_json, write_bench_json
+from repro.eval.progress import Heartbeat, HeartbeatMonitor, ProgressPrinter
 from repro.eval.reporting import (
     format_markdown_table,
     format_percent,
@@ -24,9 +38,19 @@ __all__ = [
     "evaluate_attack",
     "BucketStats",
     "ParallelAttackRunner",
+    "RunnerFaultPolicy",
+    "WorkerCountError",
+    "WorkerCrashError",
     "PerfRecorder",
     "fork_available",
     "resolve_num_workers",
+    "RunJournal",
+    "JournalError",
+    "JournalMismatchError",
+    "corpus_fingerprint",
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "ProgressPrinter",
     "read_bench_json",
     "write_bench_json",
     "SimulatedAnnotator",

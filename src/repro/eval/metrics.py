@@ -7,6 +7,24 @@ Two views used by the paper:
 - *adversarial accuracy* (Tables 2, 5): the classifier's accuracy on the
   adversarially perturbed test set (documents it already misclassifies stay
   unperturbed and remain errors).
+
+Every attacked document runs through the fault-tolerant
+:class:`~repro.eval.parallel.ParallelAttackRunner` — the serial branch is
+the runner's 1-worker path, so serial and pooled runs share the same
+per-document reseeding and the documented 1-vs-N-worker determinism
+guarantee holds for stochastic attacks too.  A document whose attack
+raises (or repeatedly kills its worker) becomes a structured
+:class:`~repro.attacks.base.AttackFailure` in
+:attr:`AttackEvaluation.failures` instead of aborting the run; it is
+conservatively scored as *not flipped* (it stays unperturbed and still
+correct in adversarial accuracy) and excluded from the per-result means.
+
+``journal_path`` makes a run durable: each completed document is appended
+to a JSONL :class:`~repro.eval.journal.RunJournal` as it lands, and
+re-running with the same journal resumes — already-journaled documents
+are never attacked twice, and because the remaining documents keep their
+original seed indices the final :class:`AttackEvaluation` is identical to
+an uninterrupted run's.
 """
 
 from __future__ import annotations
@@ -16,9 +34,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.attacks.base import Attack, AttackResult
+from repro.attacks.base import Attack, AttackFailure, AttackResult
 from repro.data.datasets import Example
-from repro.eval.parallel import ParallelAttackRunner, resolve_num_workers
+from repro.eval.journal import RunJournal, corpus_fingerprint
+from repro.eval.parallel import (
+    NUM_WORKERS_ENV,
+    ParallelAttackRunner,
+    resolve_num_workers,
+)
+from repro.eval.progress import HeartbeatMonitor
 from repro.models.base import TextClassifier
 
 __all__ = ["AttackEvaluation", "evaluate_attack"]
@@ -38,6 +62,13 @@ class AttackEvaluation:
     mean_word_changes: float
     results: list[AttackResult] = field(default_factory=list)
     adversarial_examples: list[Example] = field(default_factory=list)
+    #: documents whose attack did not complete (exception or worker crash);
+    #: scored as unperturbed survivors, reported rather than silently lost
+    failures: list[AttackFailure] = field(default_factory=list)
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.failures)
 
     def summary(self) -> dict[str, float]:
         return {
@@ -57,6 +88,8 @@ def evaluate_attack(
     max_examples: int | None = None,
     seed: int = 0,
     n_workers: int | None = None,
+    journal_path: str | os.PathLike | None = None,
+    progress=None,
 ) -> AttackEvaluation:
     """Attack every correctly-classified example and aggregate the outcome.
 
@@ -65,8 +98,14 @@ def evaluate_attack(
 
     ``n_workers`` > 1 shards the per-document attack loop across forked
     processes via :class:`~repro.eval.parallel.ParallelAttackRunner`
-    (results are deterministic in the worker count).  The default of
-    ``None`` stays serial unless ``REPRO_NUM_WORKERS`` is set.
+    (results are deterministic in the worker count; the serial path is
+    the same runner with one worker).  The default of ``None`` stays
+    serial unless ``REPRO_NUM_WORKERS`` is set.
+
+    ``journal_path`` appends each completed document to a JSONL run
+    journal and resumes from it if it already exists (see module
+    docstring).  ``progress`` receives a
+    :class:`~repro.eval.progress.Heartbeat` per completed document.
     """
     if not examples:
         raise ValueError("cannot evaluate an attack on zero examples")
@@ -89,23 +128,80 @@ def evaluate_attack(
         # and remain errors in adversarial accuracy
     ]
 
-    if n_workers is None and os.environ.get("REPRO_NUM_WORKERS", "").strip():
-        n_workers = resolve_num_workers(None)
-    if n_workers is not None and resolve_num_workers(n_workers) > 1:
-        runner = ParallelAttackRunner(attack, n_workers=n_workers, base_seed=seed)
-        attack_results = runner.run(
-            [doc for _, doc, _ in attacked], [t for _, _, t in attacked]
+    if n_workers is None:
+        env_set = bool(os.environ.get(NUM_WORKERS_ENV, "").strip())
+        n_workers = resolve_num_workers(None) if env_set else 1
+
+    # -- journal: load completed outcomes, schedule only the remainder ------
+    journal: RunJournal | None = None
+    done: dict[int, AttackResult | AttackFailure] = {}
+    if journal_path is not None:
+        journal = RunJournal(
+            journal_path,
+            header={
+                "seed": seed,
+                "attack": attack.name,
+                "n_examples": len(examples),
+                "corpus_sha1": corpus_fingerprint(
+                    [doc for _, doc, _ in attacked], [t for _, _, t in attacked]
+                ),
+            },
         )
-    else:
-        attack_results = [attack.attack(doc, target) for _, doc, target in attacked]
+        done = journal.outcomes()
+
+    # seed index j = position in the attacked sublist of the *full* run, so
+    # a resumed remainder reproduces the uninterrupted run's per-doc seeds
+    todo = [
+        (j, i, doc, target)
+        for j, (i, doc, target) in enumerate(attacked)
+        if i not in done
+    ]
+    monitor = HeartbeatMonitor(
+        total=len(attacked),
+        callback=progress,
+        done=len(done),
+        n_failures=sum(1 for o in done.values() if isinstance(o, AttackFailure)),
+        perf=getattr(model, "perf", None),
+    )
+    seed_to_corpus = {j: i for j, i, _, _ in todo}
+
+    def on_result(j: int, outcome: AttackResult | AttackFailure) -> None:
+        if journal is not None:
+            journal.record(seed_to_corpus[j], outcome, seed_index=j)
+        monitor.update(outcome)
+
+    fresh: dict[int, AttackResult | AttackFailure] = {}
+    if todo:
+        runner = ParallelAttackRunner(
+            attack, n_workers=n_workers, base_seed=seed, on_result=on_result
+        )
+        outcomes = runner.run(
+            [doc for _, _, doc, _ in todo],
+            [target for _, _, _, target in todo],
+            indices=[j for j, _, _, _ in todo],
+        )
+        fresh = {i: outcome for (_, i, _, _), outcome in zip(todo, outcomes)}
+    if journal is not None:
+        recorder = getattr(model, "perf", None)
+        if recorder is not None:
+            journal.record_perf(recorder.snapshot())
 
     results: list[AttackResult] = []
+    failures: list[AttackFailure] = []
     adv_examples: list[Example] = []
     still_correct = 0
-    for (i, _, _), result in zip(attacked, attack_results):
-        results.append(result)
-        adv_examples.append(Example(tuple(result.adversarial), examples[i].label))
-        if not result.success:
+    for i, doc, _ in attacked:
+        outcome = done[i] if i in done else fresh[i]
+        if isinstance(outcome, AttackFailure):
+            # the attack produced nothing: the document stands unperturbed
+            # and the (correctly classified) prediction survives
+            failures.append(outcome)
+            adv_examples.append(Example(tuple(doc), examples[i].label))
+            still_correct += 1
+            continue
+        results.append(outcome)
+        adv_examples.append(Example(tuple(outcome.adversarial), examples[i].label))
+        if not outcome.success:
             still_correct += 1
 
     n_attacked = len(results)
@@ -124,4 +220,5 @@ def evaluate_attack(
         mean_word_changes=float(np.mean([r.n_word_changes for r in results])) if results else 0.0,
         results=results,
         adversarial_examples=adv_examples,
+        failures=failures,
     )

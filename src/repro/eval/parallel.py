@@ -1,4 +1,4 @@
-"""Process-pool corpus attack runner.
+"""Fault-tolerant process-pool corpus attack runner.
 
 The per-document attack loop is embarrassingly parallel — each document's
 search touches the victim's weights read-only — but the substrate is
@@ -18,33 +18,74 @@ processes:
 - **ordered result merge** — results come back tagged with their document
   index and are re-assembled into input order;
 - **merge-safe perf accounting** — each worker records forwards into its
-  own (fork-copied) :class:`~repro.eval.perf.PerfRecorder` and returns a
-  serializable snapshot per chunk; the parent folds snapshots into the
-  shared recorder, so ``n_queries``/wall-time stays correct under
-  parallelism;
+  own :class:`~repro.eval.perf.PerfRecorder` and returns a serializable
+  snapshot per chunk; the parent folds snapshots into the shared recorder,
+  so ``n_queries``/wall-time stays correct under parallelism;
+- **per-document error isolation** — an attack that raises produces a
+  structured :class:`~repro.attacks.base.AttackFailure` (document index,
+  exception, traceback, seed) in that document's slot instead of aborting
+  the run, in both the serial and the pool path;
+- **worker-crash recovery** — a dead pool (segfault, OOM-kill,
+  ``os._exit`` inside a worker) is detected through the executor's broken
+  state; the chunks whose results were lost are retried on a rebuilt pool
+  with exponential backoff, a failing chunk is split down to single
+  documents to isolate the culprit, a document that repeatedly kills its
+  worker is recorded as an :class:`~repro.attacks.base.AttackFailure`
+  (``WorkerCrashError``), and if the pool cannot be kept alive within the
+  rebuild budget the survivors degrade gracefully to the in-process
+  serial path.  Because every retry re-derives the same per-document
+  seed, recovered results are bitwise-identical to an undisturbed run;
+- **completion hook** — ``on_result(index, outcome)`` fires in the parent
+  as each document lands (journaling, heartbeats);
 - **graceful serial fallback** — on platforms without ``fork`` (Windows,
   ``spawn``-only configurations) or when one worker is requested, the
-  runner degrades to an in-process loop with the same reseeding, so
-  results never depend on the platform.
+  runner degrades to an in-process loop with the same reseeding and error
+  isolation, so results never depend on the platform.
 
 ``REPRO_NUM_WORKERS`` overrides the worker count everywhere the runner is
 wired in (``evaluate_attack``, the table drivers, the perf benchmark);
-unset, the runner defaults to ``os.cpu_count()``.
+unset, the runner defaults to ``os.cpu_count()``.  An unparseable or
+non-positive value raises :class:`WorkerCountError` naming the variable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from collections.abc import Sequence
+import time
+import traceback
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
-from repro.attacks.base import Attack, AttackResult
+from repro.attacks.base import Attack, AttackFailure, AttackResult
 from repro.eval.perf import PerfRecorder
 
-__all__ = ["ParallelAttackRunner", "resolve_num_workers", "fork_available"]
+__all__ = [
+    "ParallelAttackRunner",
+    "WorkerCountError",
+    "WorkerCrashError",
+    "resolve_num_workers",
+    "fork_available",
+]
 
 #: env var overriding the worker count for every runner-wired entry point
 NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+
+class WorkerCountError(ValueError):
+    """``REPRO_NUM_WORKERS`` or an explicit worker count is invalid."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died (segfault, OOM-kill, ``os._exit``) mid-attack.
+
+    Never raised out of :meth:`ParallelAttackRunner.run`; its name is
+    recorded as the ``error_type`` of the :class:`AttackFailure` produced
+    for a document that repeatedly kills its worker.
+    """
 
 
 def fork_available() -> bool:
@@ -56,16 +97,27 @@ def resolve_num_workers(n_workers: int | None = None) -> int:
     """Effective worker count: explicit arg > ``REPRO_NUM_WORKERS`` > CPUs.
 
     Returns 1 (serial) whenever ``fork`` is unavailable, regardless of the
-    request — the runner never pickles models through ``spawn``.
+    request — the runner never pickles models through ``spawn``.  Invalid
+    values — a non-integer env var, or any count below 1 — raise
+    :class:`WorkerCountError` with one consistent message.
     """
     if n_workers is None:
         env = os.environ.get(NUM_WORKERS_ENV, "").strip()
         if env:
-            n_workers = int(env)
+            try:
+                n_workers = int(env)
+            except ValueError:
+                raise WorkerCountError(
+                    f"{NUM_WORKERS_ENV} must be a positive integer, got {env!r}"
+                ) from None
+            if n_workers < 1:
+                raise WorkerCountError(
+                    f"{NUM_WORKERS_ENV} must be a positive integer, got {env!r}"
+                )
         else:
             n_workers = os.cpu_count() or 1
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    elif n_workers < 1:
+        raise WorkerCountError(f"n_workers must be >= 1, got {n_workers}")
     if not fork_available():
         return 1
     return n_workers
@@ -74,6 +126,26 @@ def resolve_num_workers(n_workers: int | None = None) -> int:
 def _document_seed(base_seed: int, doc_index: int) -> int:
     """Stable per-document seed, independent of sharding."""
     return (base_seed * 1_000_003 + doc_index) & 0x7FFFFFFF
+
+
+def _attack_one(
+    attack: Attack, idx: int, doc: list[str], target: int, base_seed: int
+) -> AttackResult | AttackFailure:
+    """Reseed and attack one document, isolating any raised exception."""
+    seed = _document_seed(base_seed, idx)
+    attack.reseed(seed)
+    try:
+        return attack.attack(doc, target)
+    except Exception as exc:  # noqa: BLE001 - one bad doc must not kill the run
+        return AttackFailure(
+            doc_index=idx,
+            target_label=target,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            traceback=traceback.format_exc(),
+            seed=seed,
+            original=list(doc),
+        )
 
 
 # Worker-side state, populated by the pool initializer.  With the fork
@@ -86,27 +158,69 @@ _WORKER: dict = {}
 def _init_worker(attack: Attack, base_seed: int, track_perf: bool) -> None:
     _WORKER["attack"] = attack
     _WORKER["base_seed"] = base_seed
-    recorder = PerfRecorder() if track_perf else None
-    if recorder is not None:
+    if track_perf:
+        recorder = PerfRecorder()
         attack.model.perf = recorder
+    else:
+        recorder = None
+        # detach the fork-copied parent recorder: an untracked run must not
+        # pay recording overhead into an object the parent never reads
+        if getattr(attack.model, "perf", None) is not None:
+            attack.model.perf = None
     _WORKER["recorder"] = recorder
 
 
 def _attack_chunk(items: list[tuple[int, list[str], int]]):
-    """Run one chunk; return indexed results + this chunk's perf snapshot."""
+    """Run one chunk; return indexed outcomes + this chunk's perf snapshot."""
     attack: Attack = _WORKER["attack"]
     recorder: PerfRecorder | None = _WORKER["recorder"]
     if recorder is not None:
         recorder.reset()
     out = []
     for idx, doc, target in items:
-        attack.reseed(_document_seed(_WORKER["base_seed"], idx))
-        out.append((idx, attack.attack(doc, target)))
+        out.append((idx, _attack_one(attack, idx, doc, target, _WORKER["base_seed"])))
     return out, (recorder.snapshot() if recorder is not None else None)
 
 
+@dataclass
+class _Chunk:
+    """A retryable unit of pool work."""
+
+    items: list[tuple[int, list[str], int]]
+    crashes: int = 0  # pool breaks this chunk caused while running *alone*
+
+
+@dataclass
+class RunnerFaultPolicy:
+    """Retry/backoff policy for worker-crash recovery.
+
+    When a pool breaks, every chunk whose results never arrived is lost —
+    the culprit and any innocent chunks that were in flight alongside it.
+    Recovery therefore escalates in three blame-narrowing stages:
+
+    1. a lost multi-document chunk is **split** into single-document
+       chunks and retried on the next shared pool (innocents complete,
+       the culprit breaks the pool again);
+    2. a single document lost from a shared pool becomes a **suspect**
+       and is re-run alone — one chunk on a one-worker pool — so a break
+       is unambiguously its fault;
+    3. a suspect that breaks more than ``max_chunk_retries`` solo pools
+       is convicted: recorded as a ``WorkerCrashError``
+       :class:`~repro.attacks.base.AttackFailure` and never retried.
+
+    Every broken pool counts against ``max_pool_rebuilds``; past the
+    budget the runner stops forking and finishes everything still pending
+    on the in-process serial path.  Broken round *r* sleeps
+    ``backoff_seconds * 2**(r-1)`` before the next pool is forked.
+    """
+
+    max_chunk_retries: int = 2
+    max_pool_rebuilds: int = 8
+    backoff_seconds: float = 0.05
+
+
 class ParallelAttackRunner:
-    """Shard a corpus attack across worker processes.
+    """Shard a corpus attack across worker processes, surviving faults.
 
     Parameters
     ----------
@@ -125,6 +239,13 @@ class ParallelAttackRunner:
     perf:
         Recorder that receives the merged worker snapshots.  Defaults to
         the attack's model recorder (``attack.model.perf``) when attached.
+    fault_policy:
+        Crash-recovery knobs; see :class:`RunnerFaultPolicy`.
+    on_result:
+        ``on_result(index, outcome)`` invoked in the parent process as
+        each document's :class:`AttackResult`/:class:`AttackFailure`
+        lands (completion order, not input order).  Used for journaling
+        and heartbeats; exceptions it raises abort the run.
     """
 
     def __init__(
@@ -134,6 +255,8 @@ class ParallelAttackRunner:
         chunk_size: int | None = None,
         base_seed: int = 0,
         perf: PerfRecorder | None = None,
+        fault_policy: RunnerFaultPolicy | None = None,
+        on_result: Callable[[int, AttackResult | AttackFailure], None] | None = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -142,59 +265,204 @@ class ParallelAttackRunner:
         self.chunk_size = chunk_size
         self.base_seed = base_seed
         self.perf = perf if perf is not None else getattr(attack.model, "perf", None)
+        self.fault_policy = fault_policy or RunnerFaultPolicy()
+        self.on_result = on_result
 
     # -- execution ----------------------------------------------------------
     def run(
-        self, docs: Sequence[Sequence[str]], targets: Sequence[int]
-    ) -> list[AttackResult]:
-        """Attack every ``(doc, target)`` pair; results in input order."""
+        self,
+        docs: Sequence[Sequence[str]],
+        targets: Sequence[int],
+        indices: Sequence[int] | None = None,
+    ) -> list[AttackResult | AttackFailure]:
+        """Attack every ``(doc, target)`` pair; outcomes in input order.
+
+        ``indices`` overrides the per-document seed indices (default
+        ``0..n-1``).  A resumed run passes each document's index from the
+        original uninterrupted schedule, so the per-document seeds — and
+        therefore the results — are unchanged by which documents were
+        already journaled.
+        """
         if len(docs) != len(targets):
             raise ValueError(
                 f"got {len(docs)} documents but {len(targets)} target labels"
             )
+        if indices is None:
+            indices = range(len(docs))
+        elif len(indices) != len(docs):
+            raise ValueError(
+                f"got {len(docs)} documents but {len(indices)} seed indices"
+            )
         items = [
-            (i, list(doc), int(target))
-            for i, (doc, target) in enumerate(zip(docs, targets))
+            (int(idx), list(doc), int(target))
+            for idx, doc, target in zip(indices, docs, targets)
         ]
+        if len({idx for idx, _, _ in items}) != len(items):
+            raise ValueError("seed indices must be unique")
         if not items:
             return []
         n_workers = min(self.n_workers, len(items))
         if n_workers <= 1:
-            return self._run_serial(items)
-        return self._run_pool(items, n_workers)
+            outcomes = self._run_serial(items)
+        else:
+            outcomes = self._run_pool(items, n_workers)
+        return [outcomes[idx] for idx, _, _ in items]
 
-    def _run_serial(self, items: list[tuple[int, list[str], int]]) -> list[AttackResult]:
-        """In-process path: same reseeding, direct accounting."""
-        results = []
+    def _emit(self, idx: int, outcome: AttackResult | AttackFailure) -> None:
+        if self.on_result is not None:
+            self.on_result(idx, outcome)
+
+    def _run_serial(
+        self,
+        items: list[tuple[int, list[str], int]],
+        outcomes: dict[int, AttackResult | AttackFailure] | None = None,
+    ) -> dict[int, AttackResult | AttackFailure]:
+        """In-process path: same reseeding and error isolation, direct
+        perf accounting (the model's recorder stays attached)."""
+        if outcomes is None:
+            outcomes = {}
         for idx, doc, target in items:
-            self.attack.reseed(_document_seed(self.base_seed, idx))
-            results.append(self.attack.attack(doc, target))
-        return results
+            outcome = _attack_one(self.attack, idx, doc, target, self.base_seed)
+            outcomes[idx] = outcome
+            self._emit(idx, outcome)
+        return outcomes
 
     def _chunks(
         self, items: list[tuple[int, list[str], int]], n_workers: int
-    ) -> list[list[tuple[int, list[str], int]]]:
+    ) -> list[_Chunk]:
         size = self.chunk_size
         if size is None:
             size = max(1, -(-len(items) // (4 * n_workers)))
-        return [items[start : start + size] for start in range(0, len(items), size)]
+        return [
+            _Chunk(items[start : start + size])
+            for start in range(0, len(items), size)
+        ]
 
     def _run_pool(
         self, items: list[tuple[int, list[str], int]], n_workers: int
-    ) -> list[AttackResult]:
+    ) -> dict[int, AttackResult | AttackFailure]:
+        """Pool path with crash recovery.
+
+        Each round submits the pending chunks to a fresh executor.  A
+        clean round drains everything; a broken pool leaves the chunks
+        whose results never arrived, which the fault policy retries,
+        splits, or converts to failures before the next round.
+        """
+        policy = self.fault_policy
         track_perf = self.perf is not None
         ctx = multiprocessing.get_context("fork")
-        results: dict[int, AttackResult] = {}
-        with ctx.Pool(
-            processes=n_workers,
+        outcomes: dict[int, AttackResult | AttackFailure] = {}
+        shared: deque[_Chunk] = deque(self._chunks(items, n_workers))
+        suspects: deque[_Chunk] = deque()
+        rebuilds = 0
+        while shared or suspects:
+            if shared:
+                chunks, workers, solo = list(shared), n_workers, False
+                shared.clear()
+            else:
+                # suspects run one at a time on a one-worker pool so a
+                # break is unambiguously their fault
+                chunks, workers, solo = [suspects.popleft()], 1, True
+            lost = self._pool_round(chunks, workers, ctx, track_perf, outcomes)
+            if not lost:
+                continue
+            rebuilds += 1
+            if rebuilds > policy.max_pool_rebuilds:
+                # the pool cannot be kept alive: degrade to in-process
+                # serial for every document still unaccounted for
+                survivors = [
+                    item
+                    for chunk in [*lost, *shared, *suspects]
+                    for item in chunk.items
+                    if item[0] not in outcomes
+                ]
+                self._run_serial(survivors, outcomes)
+                break
+            self._reschedule(lost, solo, shared, suspects, outcomes)
+            time.sleep(policy.backoff_seconds * 2 ** (rebuilds - 1))
+        return outcomes
+
+    def _pool_round(
+        self,
+        chunks: list[_Chunk],
+        n_workers: int,
+        ctx,
+        track_perf: bool,
+        outcomes: dict[int, AttackResult | AttackFailure],
+    ) -> list[_Chunk]:
+        """One executor lifetime; returns the chunks whose results were lost."""
+        completed: set[int] = set()
+        executor = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=ctx,
             initializer=_init_worker,
             initargs=(self.attack, self.base_seed, track_perf),
-        ) as pool:
-            for chunk_results, snapshot in pool.imap_unordered(
-                _attack_chunk, self._chunks(items, n_workers)
-            ):
-                for idx, result in chunk_results:
-                    results[idx] = result
+        )
+        try:
+            futures = {}
+            for chunk in chunks:
+                futures[executor.submit(_attack_chunk, chunk.items)] = chunk
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    chunk_out, snapshot = future.result()
+                except Exception:  # noqa: BLE001 - a dead pool or a poisoned
+                    # chunk (e.g. an unpicklable result) must be isolated, not
+                    # fatal; the retry path splits it and the serial fallback
+                    # sidesteps pickling entirely
+                    continue
+                completed.add(id(chunk))
+                for idx, outcome in chunk_out:
+                    outcomes[idx] = outcome
+                    self._emit(idx, outcome)
                 if snapshot is not None and self.perf is not None:
                     self.perf.merge(snapshot)
-        return [results[i] for i in range(len(items))]
+        except BrokenProcessPool:
+            # the pool can also break during submission; every chunk without
+            # a completed result is picked up as lost below
+            pass
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        return [chunk for chunk in chunks if id(chunk) not in completed]
+
+    def _reschedule(
+        self,
+        lost: list[_Chunk],
+        solo: bool,
+        shared: deque[_Chunk],
+        suspects: deque[_Chunk],
+        outcomes: dict[int, AttackResult | AttackFailure],
+    ) -> None:
+        """Apply the blame-narrowing fault policy to a broken round's losses."""
+        policy = self.fault_policy
+        for chunk in lost:
+            if len(chunk.items) > 1:
+                # stage 1: split; innocents complete on the next shared
+                # pool, the culprit breaks it again and becomes a suspect
+                shared.extend(_Chunk([item]) for item in chunk.items)
+                continue
+            if not solo:
+                # stage 2: lost from a shared pool — could be collateral
+                # damage of another chunk's crash; verify alone
+                suspects.append(chunk)
+                continue
+            # stage 3: it broke a pool it had to itself — its fault
+            chunk.crashes += 1
+            if chunk.crashes <= policy.max_chunk_retries:
+                suspects.append(chunk)
+                continue
+            idx, doc, target = chunk.items[0]
+            failure = AttackFailure(
+                doc_index=idx,
+                target_label=target,
+                error_type=WorkerCrashError.__name__,
+                error_message=(
+                    f"worker process died while attacking document {idx} "
+                    f"({chunk.crashes} solo attempts)"
+                ),
+                traceback="",
+                seed=_document_seed(self.base_seed, idx),
+                original=list(doc),
+            )
+            outcomes[idx] = failure
+            self._emit(idx, failure)

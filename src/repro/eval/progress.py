@@ -1,0 +1,127 @@
+"""Progress heartbeats for long corpus attack runs.
+
+``evaluate_attack(..., progress=...)`` invokes the callback with a
+:class:`Heartbeat` each time a document finishes (in completion order —
+under the process pool that is not input order).  The callback gets the
+run's vital signs: documents done, structured failures so far, throughput
+and the ETA derived from it, plus the attached
+:class:`~repro.eval.perf.PerfRecorder`'s forward counters when the victim
+has one.
+
+Any callable accepting a :class:`Heartbeat` works; :class:`ProgressPrinter`
+is the batteries-included stderr reporter used by the experiment drivers
+(``ExperimentContext(progress=ProgressPrinter())``).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.attacks.base import AttackFailure, AttackResult
+
+__all__ = ["Heartbeat", "HeartbeatMonitor", "ProgressPrinter"]
+
+
+@dataclass
+class Heartbeat:
+    """One progress snapshot of a corpus attack run."""
+
+    done: int  # documents finished (results + failures), incl. resumed ones
+    total: int  # documents the run will attack in total
+    n_failures: int  # structured AttackFailure records so far
+    elapsed_seconds: float  # wall-time since the run (not the resume) started
+    docs_per_second: float  # throughput over this run's freshly attacked docs
+    eta_seconds: float  # remaining / throughput; inf until throughput is known
+    n_forward_docs: int = 0  # from the victim's PerfRecorder, when attached
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+
+class HeartbeatMonitor:
+    """Tracks run vitals and emits :class:`Heartbeat` snapshots.
+
+    ``done`` pre-counts documents restored from a journal on resume so the
+    heartbeat reflects overall run progress, but throughput/ETA are
+    computed over freshly attacked documents only — resumed documents cost
+    no wall-time and must not inflate docs/s.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        callback=None,
+        done: int = 0,
+        n_failures: int = 0,
+        perf=None,
+    ) -> None:
+        self.total = total
+        self.callback = callback
+        self.done = done
+        self.n_failures = n_failures
+        self.perf = perf
+        self._fresh = 0
+        self._start = time.perf_counter()
+
+    def update(self, outcome: AttackResult | AttackFailure) -> Heartbeat:
+        """Record one freshly completed document and fire the callback."""
+        self.done += 1
+        self._fresh += 1
+        if isinstance(outcome, AttackFailure):
+            self.n_failures += 1
+        beat = self.snapshot()
+        if self.callback is not None:
+            self.callback(beat)
+        return beat
+
+    def snapshot(self) -> Heartbeat:
+        elapsed = time.perf_counter() - self._start
+        rate = self._fresh / elapsed if elapsed > 0.0 and self._fresh else 0.0
+        remaining = self.total - self.done
+        eta = remaining / rate if rate > 0.0 else (0.0 if remaining == 0 else math.inf)
+        return Heartbeat(
+            done=self.done,
+            total=self.total,
+            n_failures=self.n_failures,
+            elapsed_seconds=elapsed,
+            docs_per_second=rate,
+            eta_seconds=eta,
+            n_forward_docs=getattr(self.perf, "n_forward_docs", 0),
+        )
+
+
+class ProgressPrinter:
+    """Throttled one-line-per-heartbeat stderr reporter.
+
+    Prints at most every ``interval_seconds`` (default 5), plus always on
+    the final document and on every new failure, so a quiet long run stays
+    quiet and a failing one is loud immediately.
+    """
+
+    def __init__(self, interval_seconds: float = 5.0, stream=None) -> None:
+        self.interval_seconds = interval_seconds
+        self.stream = stream if stream is not None else sys.stderr
+        self._last_emit = -math.inf
+        self._last_failures = 0
+
+    def __call__(self, beat: Heartbeat) -> None:
+        now = time.perf_counter()
+        due = now - self._last_emit >= self.interval_seconds
+        finished = beat.done >= beat.total
+        failed = beat.n_failures > self._last_failures
+        if not (due or finished or failed):
+            return
+        self._last_emit = now
+        self._last_failures = beat.n_failures
+        eta = "?" if math.isinf(beat.eta_seconds) else f"{beat.eta_seconds:.0f}s"
+        print(
+            f"[attack] {beat.done}/{beat.total} docs"
+            f" | {beat.n_failures} failed"
+            f" | {beat.docs_per_second:.2f} docs/s"
+            f" | ETA {eta}",
+            file=self.stream,
+        )

@@ -51,6 +51,7 @@ from repro.data import (
 from repro.data.lexicon import DomainLexicon
 from repro.eval.parallel import ParallelAttackRunner
 from repro.eval.perf import PerfRecorder
+from repro.eval.progress import ProgressPrinter
 from repro.models import GRUClassifier, LSTMClassifier, TextClassifier, TrainConfig, WCNN, fit
 from repro.nn.serialization import load, save
 from repro.text import (
@@ -118,6 +119,8 @@ class ExperimentContext:
         settings: ExperimentSettings | None = None,
         cache_dir: str | os.PathLike | None = None,
         n_workers: int | None = None,
+        progress=None,
+        journal_dir: str | os.PathLike | None = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         default_cache = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
@@ -126,6 +129,20 @@ class ExperimentContext:
         #: the table drivers; None defers to REPRO_NUM_WORKERS (serial when
         #: unset), so existing single-process workflows are unchanged
         self.n_workers = n_workers
+        #: heartbeat callback (e.g. repro.eval.progress.ProgressPrinter)
+        #: handed to evaluate_attack by every table/figure driver; None
+        #: keeps runs silent.  REPRO_PROGRESS=1 turns on the default
+        #: stderr printer without code changes.
+        if progress is None and os.environ.get("REPRO_PROGRESS", "").strip():
+            progress = ProgressPrinter()
+        self.progress = progress
+        #: directory for per-cell JSONL run journals; None disables
+        #: checkpointing.  REPRO_JOURNAL_DIR provides an env default so a
+        #: long driver run can be made resumable without code changes.
+        env_journal = os.environ.get("REPRO_JOURNAL_DIR", "").strip()
+        if journal_dir is None and env_journal:
+            journal_dir = env_journal
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self._datasets: dict[str, TextDataset] = {}
         self._lexicons: dict[str, DomainLexicon] = {}
         self._vectors: dict[str, dict[str, np.ndarray]] = {}
@@ -326,6 +343,26 @@ class ExperimentContext:
         if method == "random":
             return RandomWordAttack(model, wp, word_budget, seed=self.settings.seed)
         raise KeyError(f"unknown attack method {method!r}")
+
+    def journal_path(self, tag: str) -> Path | None:
+        """Per-cell run-journal file, or ``None`` when journaling is off.
+
+        The settings cache key is part of the name so a journal written
+        under one configuration is never resumed under another.
+        """
+        if self.journal_dir is None:
+            return None
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        return self.journal_dir / f"{tag}_{self.settings.cache_key()}.jsonl"
+
+    def eval_kwargs(self, tag: str) -> dict:
+        """Fault-tolerance keywords every driver passes to evaluate_attack:
+        worker count, heartbeat callback, and the ``tag``'s journal file."""
+        return {
+            "n_workers": self.n_workers,
+            "progress": self.progress,
+            "journal_path": self.journal_path(tag),
+        }
 
     def attack_runner(
         self,

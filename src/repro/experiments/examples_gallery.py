@@ -45,6 +45,7 @@ def run(
             context.make_attack("joint", model, dataset),
             ds.test,
             max_examples=max_examples,
+            **context.eval_kwargs(f"gallery_{dataset}_{arch}_joint"),
         )
         wins = [r for r in ev.results if r.success][:per_dataset]
         entries.extend(

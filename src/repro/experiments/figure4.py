@@ -53,7 +53,7 @@ def run(
                     ),
                     test,
                     max_examples=max_examples,
-                    n_workers=context.n_workers,
+                    **context.eval_kwargs(f"figure4_{dataset}_{arch}_ls{ls}_lw{lw}"),
                 )
                 points.append(Figure4Point(dataset, ls, lw, ev.success_rate))
     return points

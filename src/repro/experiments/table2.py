@@ -47,14 +47,14 @@ def run(
                 context.make_attack("joint", model, dataset, word_budget=0.2),
                 test,
                 max_examples=max_examples,
-                n_workers=context.n_workers,
+                **context.eval_kwargs(f"table2_{dataset}_{arch}_joint"),
             )
             greedy = evaluate_attack(
                 model,
                 context.make_attack("objective-greedy", model, dataset, word_budget=0.5),
                 test,
                 max_examples=max_examples,
-                n_workers=context.n_workers,
+                **context.eval_kwargs(f"table2_{dataset}_{arch}_greedy"),
             )
             rows.append(
                 Table2Row(

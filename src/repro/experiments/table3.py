@@ -56,7 +56,7 @@ def run(
                     context.make_attack(method, model, dataset, word_budget=budget),
                     test,
                     max_examples=max_examples,
-                    n_workers=context.n_workers,
+                    **context.eval_kwargs(f"table3_{dataset}_{method}_lw{budget}"),
                 )
                 rows.append(
                     Table3Row(

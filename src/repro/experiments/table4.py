@@ -64,6 +64,7 @@ def run(
             context.make_attack("joint", model, dataset),
             ds.test,
             max_examples=n_texts,
+            **context.eval_kwargs(f"table4_{dataset}_joint"),
         )
         original_docs = [r.original for r in ev.results]
         adversarial_docs = [r.adversarial for r in ev.results]

@@ -13,7 +13,10 @@ from repro.eval.metrics import evaluate_attack
 from repro.eval.parallel import (
     NUM_WORKERS_ENV,
     ParallelAttackRunner,
+    WorkerCountError,
+    _WORKER,
     _document_seed,
+    _init_worker,
     fork_available,
     resolve_num_workers,
 )
@@ -56,6 +59,63 @@ class TestResolveNumWorkers:
     def test_invalid_count_raises(self):
         with pytest.raises(ValueError):
             resolve_num_workers(0)
+
+    def test_explicit_count_error_is_named(self):
+        with pytest.raises(WorkerCountError, match="n_workers must be >= 1"):
+            resolve_num_workers(-3)
+
+    @pytest.mark.parametrize("value", ["four", "2.5", "", " x "])
+    def test_non_integer_env_rejected_with_clear_message(self, monkeypatch, value):
+        if not value.strip():
+            pytest.skip("blank env falls back to cpu count")
+        monkeypatch.setenv(NUM_WORKERS_ENV, value)
+        with pytest.raises(WorkerCountError) as excinfo:
+            resolve_num_workers(None)
+        message = str(excinfo.value)
+        assert NUM_WORKERS_ENV in message
+        assert "positive integer" in message
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_non_positive_env_gets_same_message_shape(self, monkeypatch, value):
+        # "0" used to produce a different message than "four"; both now
+        # name the variable and the constraint consistently
+        monkeypatch.setenv(NUM_WORKERS_ENV, value)
+        with pytest.raises(WorkerCountError) as excinfo:
+            resolve_num_workers(None)
+        message = str(excinfo.value)
+        assert NUM_WORKERS_ENV in message
+        assert "positive integer" in message
+
+    def test_worker_count_error_is_a_value_error(self):
+        assert issubclass(WorkerCountError, ValueError)
+
+
+class TestWorkerPerfAttachment:
+    def test_untracked_worker_detaches_forked_recorder(self, victim, word_paraphraser):
+        # with track_perf=False the fork-copied parent recorder must be
+        # dropped, not silently recorded into
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        prev = victim.perf
+        victim.perf = PerfRecorder()
+        try:
+            _init_worker(attack, 0, track_perf=False)
+            assert victim.perf is None
+            assert _WORKER["recorder"] is None
+        finally:
+            victim.perf = prev
+
+    def test_tracked_worker_gets_fresh_recorder(self, victim, word_paraphraser):
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        prev = victim.perf
+        parent_recorder = PerfRecorder()
+        victim.perf = parent_recorder
+        try:
+            _init_worker(attack, 0, track_perf=True)
+            assert isinstance(victim.perf, PerfRecorder)
+            assert victim.perf is not parent_recorder
+            assert _WORKER["recorder"] is victim.perf
+        finally:
+            victim.perf = prev
 
 
 class TestRunnerValidation:
@@ -189,6 +249,44 @@ def test_evaluate_attack_worker_count_invariant(victim, word_paraphraser, atk_co
     assert [r.adversarial for r in serial.results] == [
         r.adversarial for r in pooled.results
     ]
+
+
+def test_evaluate_attack_serial_branch_reseeds_like_the_pool(
+    victim, word_paraphraser, atk_corpus
+):
+    """Determinism bugfix: the serial branch used to call attack.attack()
+    without per-document reseeding while the pool reseeded, so a stochastic
+    attack could disagree between 1 and N workers.  Both now route through
+    the runner and must agree for every worker count."""
+    serial = evaluate_attack(
+        victim,
+        RandomWordAttack(victim, word_paraphraser, 0.3, seed=99),
+        atk_corpus.test,
+        max_examples=N_DOCS,
+    )
+    explicit_one = evaluate_attack(
+        victim,
+        RandomWordAttack(victim, word_paraphraser, 0.3, seed=99),
+        atk_corpus.test,
+        max_examples=N_DOCS,
+        n_workers=1,
+    )
+    assert result_fingerprint(serial.results) == result_fingerprint(
+        explicit_one.results
+    )
+    if fork_available():
+        for workers in (2, 4):
+            pooled = evaluate_attack(
+                victim,
+                RandomWordAttack(victim, word_paraphraser, 0.3, seed=99),
+                atk_corpus.test,
+                max_examples=N_DOCS,
+                n_workers=workers,
+            )
+            assert result_fingerprint(serial.results) == result_fingerprint(
+                pooled.results
+            )
+            assert serial.summary()["success_rate"] == pooled.summary()["success_rate"]
 
 
 def test_evaluate_attack_env_var_routes_through_runner(
