@@ -16,6 +16,7 @@ from __future__ import annotations
 import difflib
 import time
 from collections.abc import Sequence
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -67,6 +68,7 @@ class AttackResult:
     n_sentence_changes: int = 0
     n_queries: int = 0  # model forwards actually paid
     n_cache_hits: int = 0  # scores served from the per-call ScoreCache
+    n_cache_evictions: int = 0  # entries dropped by a bounded ScoreCache
     wall_time: float = 0.0
     stages: list[str] = field(default_factory=list)  # e.g. ["sentence", "word"]
 
@@ -96,6 +98,8 @@ class AttackResult:
             n_sentence_changes=int(payload["n_sentence_changes"]),
             n_queries=int(payload["n_queries"]),
             n_cache_hits=int(payload["n_cache_hits"]),
+            # absent in journals written before bounded caches existed
+            n_cache_evictions=int(payload.get("n_cache_evictions", 0)),
             wall_time=float(payload["wall_time"]),
             stages=list(payload["stages"]),
         )
@@ -149,17 +153,42 @@ class Attack:
     ``use_cache`` enables the per-call :class:`ScoreCache`; it is
     automatically suppressed whenever scoring is stochastic (victim in
     training mode or with ``inference_dropout`` active), so Bayesian-dropout
-    scores are never memoized.
+    scores are never memoized.  ``cache_max_entries`` bounds that cache
+    (``None`` = unbounded, the default).
+
+    Observability hooks (all optional, all off by default):
+
+    - ``tracer`` — a :class:`~repro.obs.trace.TraceRecorder`; the corpus
+      runner installs a per-document trace on ``_trace`` directly, while
+      direct ``attack()`` calls self-open one via ``tracer.next_index()``;
+    - ``profiler`` — a :class:`~repro.obs.spans.PhaseProfiler` whose
+      spans time the forward / candidate-gen / greedy-select phases.
     """
 
     name = "attack"
 
-    def __init__(self, model: TextClassifier, use_cache: bool = True) -> None:
+    # class-level defaults so instances unpickled from old journals or
+    # constructed by subclasses that bypass __init__ still have the hooks
+    tracer = None
+    profiler = None
+    _trace = None
+
+    def __init__(
+        self,
+        model: TextClassifier,
+        use_cache: bool = True,
+        cache_max_entries: int | None = None,
+    ) -> None:
         self.model = model
         self.use_cache = use_cache
+        self.cache_max_entries = cache_max_entries
         self._queries = 0
         self._cache_hits = 0
         self._cache: ScoreCache | None = None
+        self._cache_evictions = 0
+        self.tracer = None
+        self.profiler = None
+        self._trace = None
 
     def reseed(self, seed: int) -> None:
         """Reset every RNG stream this attack owns to a function of ``seed``.
@@ -182,6 +211,25 @@ class Attack:
             elif isinstance(value, Attack) and value is not self:
                 value.reseed(seed)
 
+    # -- observability hooks ------------------------------------------------
+    def set_profiler(self, profiler) -> None:
+        """Attach a phase profiler to this attack and its sub-attacks."""
+        self.profiler = profiler
+        for value in vars(self).values():
+            if isinstance(value, Attack) and value is not self:
+                value.set_profiler(profiler)
+
+    def _span(self, name: str):
+        """Profiler span context, or a no-op when no profiler is attached."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.span(name)
+
+    def _trace_event(self, kind: str, **fields) -> None:
+        """Emit one trace event; a single ``None`` check when tracing is off."""
+        if self._trace is not None:
+            self._trace.emit(kind, **fields)
+
     def _caching_allowed(self) -> bool:
         """Memoization is sound only for deterministic scoring.
 
@@ -203,7 +251,15 @@ class Attack:
         cache = self._cache
         if cache is None:
             self._queries += len(docs)
-            probs = self.model.predict_proba(docs)
+            with self._span("forward"):
+                probs = self.model.predict_proba(docs)
+            self._trace_event(
+                "forward",
+                op="score",
+                n_docs=len(docs),
+                n_forwards=len(docs),
+                n_cache_hits=0,
+            )
             return probs[:, target_label].tolist()
         # order-preserving dedup of the request, then forward only misses
         unique: dict[tuple, list[str]] = {}
@@ -218,12 +274,23 @@ class Attack:
             else:
                 scores[key] = cached
         if missing:
-            probs = self.model.predict_proba([unique[key] for key in missing])
+            with self._span("forward"):
+                probs = self.model.predict_proba([unique[key] for key in missing])
             self._queries += len(missing)
             for key, p in zip(missing, probs[:, target_label].tolist()):
                 cache.put(key, p)
                 scores[key] = p
-        self._cache_hits += len(docs) - len(missing)
+        served = len(docs) - len(missing)
+        self._cache_hits += served
+        self._trace_event(
+            "forward",
+            op="score",
+            n_docs=len(docs),
+            n_forwards=len(missing),
+            n_cache_hits=served,
+        )
+        if served:
+            self._trace_event("cache_hit", n_hits=served)
         return [scores[score_key(doc, target_label)] for doc in docs]
 
     def _score(self, doc: Sequence[str], target_label: int) -> float:
@@ -237,42 +304,87 @@ class Attack:
         doc = list(doc)
         if not doc:
             raise ValueError("cannot attack an empty document")
+        # the corpus runner installs a per-document trace on _trace; direct
+        # attack() calls self-open one (and then own its close) when a
+        # TraceRecorder is attached
+        opened_here = False
+        if self._trace is None and self.tracer is not None:
+            self._trace = self.tracer.document(self.tracer.next_index())
+            opened_here = True
         self._queries = 0
         self._cache_hits = 0
-        self._cache = ScoreCache() if self._caching_allowed() else None
+        self._cache_evictions = 0
+        self._cache = (
+            ScoreCache(max_entries=self.cache_max_entries)
+            if self._caching_allowed()
+            else None
+        )
+        self._trace_event(
+            "attack_start",
+            attack=self.name,
+            target_label=int(target_label),
+            n_tokens=len(doc),
+            seed=getattr(self._trace, "seed", None),
+        )
         start = time.perf_counter()
         try:
-            original_prob = self._score(doc, target_label)
-            adversarial, stages = self._run(doc, target_label)
-        finally:
-            self._cache = None  # scores are only valid within one call
-        # Success is judged with deterministic inference: if the victim uses
-        # Bayesian (inference-time) dropout during the *search* — the paper's
-        # WCNN setting (Sec. 6.4) — the verdict must not depend on one noisy
-        # sample.
-        inference_dropout = getattr(self.model, "inference_dropout", 0.0)
-        if inference_dropout:
-            self.model.inference_dropout = 0.0
-        try:
-            adv_probs = self.model.predict_proba([adversarial])[0]
-        finally:
+            try:
+                original_prob = self._score(doc, target_label)
+                adversarial, stages = self._run(doc, target_label)
+            finally:
+                if self._cache is not None:
+                    self._cache_evictions = self._cache.evictions
+                self._cache = None  # scores are only valid within one call
+            # Success is judged with deterministic inference: if the victim
+            # uses Bayesian (inference-time) dropout during the *search* — the
+            # paper's WCNN setting (Sec. 6.4) — the verdict must not depend on
+            # one noisy sample.
+            inference_dropout = getattr(self.model, "inference_dropout", 0.0)
             if inference_dropout:
-                self.model.inference_dropout = inference_dropout
-        elapsed = time.perf_counter() - start
-        return AttackResult(
-            original=doc,
-            adversarial=adversarial,
-            target_label=target_label,
-            original_prob=original_prob,
-            adversarial_prob=float(adv_probs[target_label]),
-            success=bool(adv_probs.argmax() == target_label),
-            n_word_changes=count_word_changes(doc, adversarial),
-            n_sentence_changes=stages.count("sentence"),
-            n_queries=self._queries,
-            n_cache_hits=self._cache_hits,
-            wall_time=elapsed,
-            stages=sorted(set(stages)),
-        )
+                self.model.inference_dropout = 0.0
+            try:
+                adv_probs = self.model.predict_proba([adversarial])[0]
+            finally:
+                if inference_dropout:
+                    self.model.inference_dropout = inference_dropout
+            elapsed = time.perf_counter() - start
+            result = AttackResult(
+                original=doc,
+                adversarial=adversarial,
+                target_label=target_label,
+                original_prob=original_prob,
+                adversarial_prob=float(adv_probs[target_label]),
+                success=bool(adv_probs.argmax() == target_label),
+                n_word_changes=count_word_changes(doc, adversarial),
+                n_sentence_changes=stages.count("sentence"),
+                n_queries=self._queries,
+                n_cache_hits=self._cache_hits,
+                n_cache_evictions=self._cache_evictions,
+                wall_time=elapsed,
+                stages=sorted(set(stages)),
+            )
+            self._trace_event(
+                "attack_end",
+                success=result.success,
+                n_queries=result.n_queries,
+                n_cache_hits=result.n_cache_hits,
+                wall_time=round(result.wall_time, 6),
+                n_word_changes=result.n_word_changes,
+                adversarial_prob=result.adversarial_prob,
+            )
+            return result
+        except Exception as exc:
+            self._trace_event(
+                "attack_error",
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+            )
+            raise
+        finally:
+            if opened_here:
+                trace, self._trace = self._trace, None
+                if trace is not None:
+                    trace.close()
 
     def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
         """Return (adversarial tokens, stage tags). Implemented by subclasses."""

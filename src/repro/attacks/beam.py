@@ -33,8 +33,11 @@ class BeamSearchWordAttack(Attack):
         tau: float = 0.7,
         beam_width: int = 3,
         use_cache: bool = True,
+        cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(model, use_cache=use_cache)
+        super().__init__(
+            model, use_cache=use_cache, cache_max_entries=cache_max_entries
+        )
         if not 0.0 <= word_budget_ratio <= 1.0:
             raise ValueError("word_budget_ratio must be in [0, 1]")
         if not 0.0 < tau <= 1.0:
@@ -47,13 +50,14 @@ class BeamSearchWordAttack(Attack):
         self.beam_width = beam_width
 
     def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        with self._span("candidate-gen"):
+            neighbor_sets = self.paraphraser.neighbor_sets(doc)
         budget = int(self.word_budget_ratio * len(doc))
         base_score = self._score(doc, target_label)
         # beam entries: (score, substitutions dict)
         beam: list[tuple[float, dict[int, str]]] = [(base_score, {})]
         best_score, best_subs = base_score, {}
-        for _ in range(budget):
+        for round_index in range(budget):
             if best_score >= self.tau:
                 break
             candidates: list[dict[int, str]] = []
@@ -73,11 +77,23 @@ class BeamSearchWordAttack(Attack):
             if not candidates:
                 break
             docs = [apply_word_substitutions(doc, subs) for subs in candidates]
-            scores = self._score_batch(docs, target_label)
-            ranked = sorted(zip(scores, candidates), key=lambda sc: -sc[0])
+            with self._span("greedy-select"):
+                scores = self._score_batch(docs, target_label)
+                ranked = sorted(zip(scores, candidates), key=lambda sc: -sc[0])
             beam = [(s, c) for s, c in ranked[: self.beam_width]]
             if beam[0][0] <= best_score + 1e-12:
                 break
+            previous_best = best_score
             best_score, best_subs = beam[0]
+            self._trace_event(
+                "greedy_iteration",
+                stage="word",
+                iteration=round_index,
+                positions=sorted(best_subs),
+                n_candidates=len(candidates),
+                best_objective=best_score,
+                marginal_gain=best_score - previous_best,
+                rescans=0,
+            )
         adversarial = apply_word_substitutions(doc, best_subs)
         return adversarial, ["word"] * len(best_subs)

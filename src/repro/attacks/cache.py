@@ -12,7 +12,9 @@ Accounting contract (see ``docs/architecture.md``):
 
 - ``AttackResult.n_queries``   — model forwards actually *paid*;
 - ``AttackResult.n_cache_hits`` — requested scores served without a
-  forward (cache hits plus intra-batch duplicates).
+  forward (cache hits plus intra-batch duplicates);
+- ``AttackResult.n_cache_evictions`` — entries dropped by a bounded
+  cache (0 for the default unbounded cache).
 
 Caching is only sound for deterministic scoring: ``Attack.attack()`` never
 installs a cache while the victim is in training mode or uses Bayesian
@@ -35,17 +37,24 @@ def score_key(doc: Sequence[str], target_label: int) -> tuple:
 class ScoreCache:
     """Memoizes ``C_y(doc)`` scores within one attack invocation.
 
-    A plain dict with hit/miss counters; unbounded by design — one attack
+    A plain dict with hit/miss counters; unbounded by default — one attack
     call scores at most a few thousand candidates, and the cache dies with
-    the call.
+    the call.  Pass ``max_entries`` to bound memory on very long documents:
+    once full, the oldest entry is evicted first (insertion order, which
+    for a greedy scan approximates least-recently-scored), and every
+    eviction is counted so the metrics registry can surface cache pressure.
     """
 
-    __slots__ = ("_scores", "hits", "misses")
+    __slots__ = ("_scores", "hits", "misses", "evictions", "max_entries")
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._scores: dict[tuple, float] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.max_entries = max_entries
 
     def __len__(self) -> int:
         return len(self._scores)
@@ -63,9 +72,17 @@ class ScoreCache:
         return score
 
     def put(self, key: tuple, score: float) -> None:
+        if (
+            self.max_entries is not None
+            and key not in self._scores
+            and len(self._scores) >= self.max_entries
+        ):
+            self._scores.pop(next(iter(self._scores)))
+            self.evictions += 1
         self._scores[key] = score
 
     def clear(self) -> None:
         self._scores.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

@@ -51,8 +51,11 @@ class GradientGuidedGreedyAttack(Attack):
         max_iterations: int = 50,
         selection: str = "modular",
         use_cache: bool = True,
+        cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(model, use_cache=use_cache)
+        super().__init__(
+            model, use_cache=use_cache, cache_max_entries=cache_max_entries
+        )
         if not 0.0 <= word_budget_ratio <= 1.0:
             raise ValueError("word_budget_ratio must be in [0, 1]")
         if not 0.0 < tau <= 1.0:
@@ -104,8 +107,12 @@ class GradientGuidedGreedyAttack(Attack):
         if self.selection == "random":
             scores = self._selection_rng.random(n)
         else:
-            gradient = self.model.embedding_gradient(current, target_label)
+            with self._span("forward"):
+                gradient = self.model.embedding_gradient(current, target_label)
             self._queries += 1
+            self._trace_event(
+                "forward", op="gradient", n_docs=1, n_forwards=1, n_cache_hits=0
+            )
             if self.selection == "gs_norm":
                 scores = np.linalg.norm(gradient, axis=1)
             else:  # modular
@@ -141,7 +148,8 @@ class GradientGuidedGreedyAttack(Attack):
         return selected
 
     def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        with self._span("candidate-gen"):
+            neighbor_sets = self.paraphraser.neighbor_sets(doc)
         budget = int(self.word_budget_ratio * len(doc))
         current = list(doc)
         current_score = self._score(current, target_label)
@@ -175,8 +183,9 @@ class GradientGuidedGreedyAttack(Attack):
             if not frontier:
                 break
             candidates = [apply_word_substitutions(current, subs) for subs in frontier]
-            scores = self._score_batch(candidates, target_label)
-            best = max(range(len(scores)), key=scores.__getitem__)
+            with self._span("greedy-select"):
+                scores = self._score_batch(candidates, target_label)
+                best = max(range(len(scores)), key=scores.__getitem__)
             if scores[best] <= current_score + 1e-12:
                 # This batch of positions cannot improve; fall back to the
                 # next batch down the gradient ranking.
@@ -184,6 +193,16 @@ class GradientGuidedGreedyAttack(Attack):
                 continue
             skip = 0
             subs = self._prune(frontier[best], current, scores[best], target_label)
+            self._trace_event(
+                "greedy_iteration",
+                stage="word",
+                iteration=len(stages),
+                positions=sorted(subs),
+                n_candidates=len(candidates),
+                best_objective=scores[best],
+                marginal_gain=scores[best] - current_score,
+                rescans=0,
+            )
             current = apply_word_substitutions(current, subs)
             current_score = scores[best]
             for pos in subs:

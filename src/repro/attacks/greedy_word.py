@@ -44,8 +44,11 @@ class ObjectiveGreedyWordAttack(Attack):
         tau: float = 0.7,
         strategy: str = "scan",
         use_cache: bool = True,
+        cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(model, use_cache=use_cache)
+        super().__init__(
+            model, use_cache=use_cache, cache_max_entries=cache_max_entries
+        )
         if not 0.0 <= word_budget_ratio <= 1.0:
             raise ValueError("word_budget_ratio must be in [0, 1]")
         if not 0.0 < tau <= 1.0:
@@ -69,7 +72,8 @@ class ObjectiveGreedyWordAttack(Attack):
     def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
         if self.strategy == "lazy":
             return self._run_lazy(doc, target_label)
-        neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        with self._span("candidate-gen"):
+            neighbor_sets = self.paraphraser.neighbor_sets(doc)
         budget = int(self.word_budget_ratio * len(doc))
         current = list(doc)
         current_score = self._score(current, target_label)
@@ -83,10 +87,21 @@ class ObjectiveGreedyWordAttack(Attack):
             candidates = [
                 apply_word_substitutions(current, {j: word}) for j, word in pairs
             ]
-            scores = self._score_batch(candidates, target_label)
-            best = max(range(len(scores)), key=scores.__getitem__)
+            with self._span("greedy-select"):
+                scores = self._score_batch(candidates, target_label)
+                best = max(range(len(scores)), key=scores.__getitem__)
             if scores[best] <= current_score + 1e-12:
                 break
+            self._trace_event(
+                "greedy_iteration",
+                stage="word",
+                iteration=len(stages),
+                positions=[pairs[best][0]],
+                n_candidates=len(candidates),
+                best_objective=scores[best],
+                marginal_gain=scores[best] - current_score,
+                rescans=0,
+            )
             current = candidates[best]
             current_score = scores[best]
             changed.add(pairs[best][0])
@@ -95,7 +110,8 @@ class ObjectiveGreedyWordAttack(Attack):
 
     def _run_lazy(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
         """CELF variant: stale-bound heap instead of full rescans."""
-        neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        with self._span("candidate-gen"):
+            neighbor_sets = self.paraphraser.neighbor_sets(doc)
         budget = int(self.word_budget_ratio * len(doc))
         current = list(doc)
         current_score = self._score(current, target_label)
@@ -122,15 +138,20 @@ class ObjectiveGreedyWordAttack(Attack):
         heap = rebuild_heap()
         fresh_heap = True
         while heap is not None and current_score < self.tau and len(changed) < budget:
+            rescans = 0
 
             def fresh_gain(pair: tuple[int, str]) -> float | None:
+                nonlocal rescans
+                rescans += 1
                 j, word = pair
                 if j in changed or current[j] == word:
                     return None  # position consumed
                 candidate = apply_word_substitutions(current, {j: word})
                 return self._score_batch([candidate], target_label)[0] - current_score
 
-            picked = heap.select(fresh_gain, tolerance=1e-12)
+            with self._span("greedy-select"):
+                n_candidates = len(heap)
+                picked = heap.select(fresh_gain, tolerance=1e-12)
             if picked is None:
                 # Stale bounds say nothing improves.  They are only upper
                 # bounds under submodularity, which holds empirically but
@@ -144,6 +165,16 @@ class ObjectiveGreedyWordAttack(Attack):
             (j, word), gain = picked
             current = apply_word_substitutions(current, {j: word})
             current_score += gain
+            self._trace_event(
+                "greedy_iteration",
+                stage="word",
+                iteration=len(stages),
+                positions=[j],
+                n_candidates=n_candidates,
+                best_objective=current_score,
+                marginal_gain=gain,
+                rescans=rescans,
+            )
             changed.add(j)
             stages.append("word")
             fresh_heap = False

@@ -48,8 +48,11 @@ class JointParaphraseAttack(Attack):
         word_attack: str = "gradient-guided",
         strategy: str = "scan",
         use_cache: bool = True,
+        cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(model, use_cache=use_cache)
+        super().__init__(
+            model, use_cache=use_cache, cache_max_entries=cache_max_entries
+        )
         if word_attack not in ("gradient-guided", "objective-greedy"):
             raise ValueError("word_attack must be 'gradient-guided' or 'objective-greedy'")
         self.sentence_stage = GreedySentenceAttack(
@@ -84,17 +87,21 @@ class JointParaphraseAttack(Attack):
         """Run a sub-attack's search under this attack's query accounting.
 
         The shared :class:`ScoreCache` is handed down so scores paid in one
-        stage are hits in the next.
+        stage are hits in the next, and the per-document trace is handed
+        down so stage events land in the same file (the ``stage`` field on
+        ``greedy_iteration`` events tells them apart).
         """
         stage._queries = 0
         stage._cache_hits = 0
         stage._cache = self._cache
+        stage._trace = self._trace
         try:
             return stage._run(doc, target_label)
         finally:
             self._queries += stage._queries
             self._cache_hits += stage._cache_hits
             stage._cache = None
+            stage._trace = None
 
     def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
         # Stage 1: sentence paraphrasing (Alg. 2)

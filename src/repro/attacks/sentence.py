@@ -37,8 +37,11 @@ class GreedySentenceAttack(Attack):
         tau: float = 0.7,
         strategy: str = "scan",
         use_cache: bool = True,
+        cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(model, use_cache=use_cache)
+        super().__init__(
+            model, use_cache=use_cache, cache_max_entries=cache_max_entries
+        )
         if not 0.0 <= sentence_budget_ratio <= 1.0:
             raise ValueError("sentence_budget_ratio must be in [0, 1]")
         if not 0.0 < tau <= 1.0:
@@ -57,7 +60,8 @@ class GreedySentenceAttack(Attack):
     def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
         if self.strategy == "lazy":
             return self._run_lazy(doc, target_label)
-        sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        with self._span("candidate-gen"):
+            sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
         budget = int(round(self.sentence_budget_ratio * len(sentences)))
         current = [list(s) for s in sentences]
         current_score = self._score(join_sentences(current), target_label)
@@ -74,11 +78,22 @@ class GreedySentenceAttack(Attack):
                     meta.append((j, list(cand_sentence)))
             if not candidates:
                 break
-            scores = self._score_batch(candidates, target_label)
-            best = max(range(len(scores)), key=scores.__getitem__)
+            with self._span("greedy-select"):
+                scores = self._score_batch(candidates, target_label)
+                best = max(range(len(scores)), key=scores.__getitem__)
             if scores[best] <= current_score + 1e-12:
                 break
             j, new_sentence = meta[best]
+            self._trace_event(
+                "greedy_iteration",
+                stage="sentence",
+                iteration=len(stages),
+                positions=[j],
+                n_candidates=len(candidates),
+                best_objective=scores[best],
+                marginal_gain=scores[best] - current_score,
+                rescans=0,
+            )
             current[j] = new_sentence
             current_score = scores[best]
             if new_sentence == sentences[j]:
@@ -90,7 +105,8 @@ class GreedySentenceAttack(Attack):
 
     def _run_lazy(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
         """CELF variant over (sentence index, paraphrase index) moves."""
-        sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        with self._span("candidate-gen"):
+            sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
         budget = int(round(self.sentence_budget_ratio * len(sentences)))
         current = [list(s) for s in sentences]
         current_score = self._score(join_sentences(current), target_label)
@@ -125,15 +141,20 @@ class GreedySentenceAttack(Attack):
         heap = rebuild_heap()
         fresh_heap = True
         while heap is not None and current_score < self.tau and len(paraphrased) < budget:
+            rescans = 0
 
             def fresh_gain(idx: int) -> float | None:
+                nonlocal rescans
+                rescans += 1
                 j, cand = moves[idx]
                 if cand == current[j]:
                     return None  # already applied
                 candidate = join_sentences(self._apply(current, j, cand))
                 return self._score_batch([candidate], target_label)[0] - current_score
 
-            picked = heap.select(fresh_gain, tolerance=1e-12)
+            with self._span("greedy-select"):
+                n_candidates = len(heap)
+                picked = heap.select(fresh_gain, tolerance=1e-12)
             if picked is None:
                 # stale bounds are exact only under submodularity: confirm
                 # exhaustion with one batched rescan before terminating
@@ -146,6 +167,16 @@ class GreedySentenceAttack(Attack):
             j, new_sentence = moves[idx]
             current[j] = new_sentence
             current_score += gain
+            self._trace_event(
+                "greedy_iteration",
+                stage="sentence",
+                iteration=len(stages),
+                positions=[j],
+                n_candidates=n_candidates,
+                best_objective=current_score,
+                marginal_gain=gain,
+                rescans=rescans,
+            )
             if new_sentence == sentences[j]:
                 paraphrased.discard(j)
             else:

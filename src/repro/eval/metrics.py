@@ -25,6 +25,12 @@ re-running with the same journal resumes — already-journaled documents
 are never attacked twice, and because the remaining documents keep their
 original seed indices the final :class:`AttackEvaluation` is identical to
 an uninterrupted run's.
+
+``trace_dir`` turns on the observability layer for the run: per-document
+attack traces (:mod:`repro.obs.trace`), a run-level
+:class:`~repro.obs.registry.MetricsRegistry` of outcome counters and
+latency histograms, a ``failures.jsonl`` of structured failure records,
+and a ``metrics.json`` consumed by ``python -m repro.experiments report``.
 """
 
 from __future__ import annotations
@@ -44,6 +50,12 @@ from repro.eval.parallel import (
 )
 from repro.eval.progress import HeartbeatMonitor
 from repro.models.base import TextClassifier
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import append_failure, write_run_metrics
+from repro.obs.trace import TraceRecorder
+
+#: power-of-two bounds for query-count histograms (1 .. 65536 forwards/doc)
+_QUERY_BOUNDS = [float(2**e) for e in range(17)]
 
 __all__ = ["AttackEvaluation", "evaluate_attack"]
 
@@ -90,6 +102,8 @@ def evaluate_attack(
     n_workers: int | None = None,
     journal_path: str | os.PathLike | None = None,
     progress=None,
+    trace_dir: str | os.PathLike | None = None,
+    trace_every_n: int | None = None,
 ) -> AttackEvaluation:
     """Attack every correctly-classified example and aggregate the outcome.
 
@@ -106,6 +120,11 @@ def evaluate_attack(
     journal and resumes from it if it already exists (see module
     docstring).  ``progress`` receives a
     :class:`~repro.eval.progress.Heartbeat` per completed document.
+
+    ``trace_dir`` writes per-document attack traces, ``failures.jsonl``
+    and ``metrics.json`` into that directory; ``trace_every_n`` samples
+    the traces (every n-th document, default 1 via
+    ``REPRO_TRACE_EVERY_N``).
     """
     if not examples:
         raise ValueError("cannot evaluate an attack on zero examples")
@@ -156,35 +175,68 @@ def evaluate_attack(
         for j, (i, doc, target) in enumerate(attacked)
         if i not in done
     ]
+    run_registry = MetricsRegistry()
     monitor = HeartbeatMonitor(
         total=len(attacked),
         callback=progress,
         done=len(done),
         n_failures=sum(1 for o in done.values() if isinstance(o, AttackFailure)),
         perf=getattr(model, "perf", None),
+        registry=run_registry,
     )
     seed_to_corpus = {j: i for j, i, _, _ in todo}
 
     def on_result(j: int, outcome: AttackResult | AttackFailure) -> None:
         if journal is not None:
             journal.record(seed_to_corpus[j], outcome, seed_index=j)
+        run_registry.inc("attack/docs")
+        if isinstance(outcome, AttackFailure):
+            run_registry.inc("attack/failures")
+            if trace_dir is not None:
+                append_failure(trace_dir, outcome.to_dict())
+        else:
+            run_registry.inc("attack/successes", float(outcome.success))
+            run_registry.inc("attack/n_queries", outcome.n_queries)
+            run_registry.inc("attack/cache_hits", outcome.n_cache_hits)
+            run_registry.inc("attack/cache_evictions", outcome.n_cache_evictions)
+            run_registry.observe("attack/wall_time_seconds", outcome.wall_time)
+            run_registry.observe(
+                "attack/queries", outcome.n_queries, bounds=_QUERY_BOUNDS
+            )
         monitor.update(outcome)
 
     fresh: dict[int, AttackResult | AttackFailure] = {}
-    if todo:
-        runner = ParallelAttackRunner(
-            attack, n_workers=n_workers, base_seed=seed, on_result=on_result
+    prior_tracer = attack.tracer
+    if trace_dir is not None:
+        attack.tracer = TraceRecorder(trace_dir, trace_every_n=trace_every_n)
+    try:
+        if todo:
+            runner = ParallelAttackRunner(
+                attack, n_workers=n_workers, base_seed=seed, on_result=on_result
+            )
+            outcomes = runner.run(
+                [doc for _, _, doc, _ in todo],
+                [target for _, _, _, target in todo],
+                indices=[j for j, _, _, _ in todo],
+            )
+            fresh = {i: outcome for (_, i, _, _), outcome in zip(todo, outcomes)}
+    finally:
+        attack.tracer = prior_tracer
+    monitor.finish()
+    recorder = getattr(model, "perf", None)
+    if journal is not None and recorder is not None:
+        journal.record_perf(recorder.snapshot())
+    if trace_dir is not None:
+        write_run_metrics(
+            trace_dir,
+            run_registry.snapshot(),
+            context_snapshot=(
+                recorder.registry.snapshot()
+                if getattr(recorder, "registry", None) is not None
+                else None
+            ),
+            perf_snapshot=recorder.snapshot() if recorder is not None else None,
         )
-        outcomes = runner.run(
-            [doc for _, _, doc, _ in todo],
-            [target for _, _, _, target in todo],
-            indices=[j for j, _, _, _ in todo],
-        )
-        fresh = {i: outcome for (_, i, _, _), outcome in zip(todo, outcomes)}
-    if journal is not None:
-        recorder = getattr(model, "perf", None)
-        if recorder is not None:
-            journal.record_perf(recorder.snapshot())
 
     results: list[AttackResult] = []
     failures: list[AttackFailure] = []

@@ -18,9 +18,16 @@ processes:
 - **ordered result merge** — results come back tagged with their document
   index and are re-assembled into input order;
 - **merge-safe perf accounting** — each worker records forwards into its
-  own :class:`~repro.eval.perf.PerfRecorder` and returns a serializable
-  snapshot per chunk; the parent folds snapshots into the shared recorder,
-  so ``n_queries``/wall-time stays correct under parallelism;
+  own :class:`~repro.eval.perf.PerfRecorder` (carrying its own
+  :class:`~repro.obs.registry.MetricsRegistry`, which the worker's phase
+  profiler mirrors into) and returns a serializable snapshot per chunk;
+  the parent folds snapshots into the shared recorder, so
+  ``n_queries``/wall-time/phase accounting stays correct under
+  parallelism;
+- **per-document tracing** — when a
+  :class:`~repro.obs.trace.TraceRecorder` is attached to the attack, each
+  worker writes its documents' trace files directly (one JSONL file per
+  document, so workers never contend for a file handle);
 - **per-document error isolation** — an attack that raises produces a
   structured :class:`~repro.attacks.base.AttackFailure` (document index,
   exception, traceback, seed) in that document's slot instead of aborting
@@ -62,6 +69,7 @@ from dataclasses import dataclass
 
 from repro.attacks.base import Attack, AttackFailure, AttackResult
 from repro.eval.perf import PerfRecorder
+from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "ParallelAttackRunner",
@@ -134,6 +142,12 @@ def _attack_one(
     """Reseed and attack one document, isolating any raised exception."""
     seed = _document_seed(base_seed, idx)
     attack.reseed(seed)
+    # open the per-document trace here (not inside attack()) so the trace
+    # carries the runner's seed index and the run's per-document seed, and
+    # so attack_error events from a raising attack still reach disk
+    tracer = getattr(attack, "tracer", None)
+    trace = tracer.document(idx, seed=seed) if tracer is not None else None
+    attack._trace = trace
     try:
         return attack.attack(doc, target)
     except Exception as exc:  # noqa: BLE001 - one bad doc must not kill the run
@@ -146,6 +160,10 @@ def _attack_one(
             seed=seed,
             original=list(doc),
         )
+    finally:
+        attack._trace = None
+        if trace is not None:
+            trace.close()
 
 
 # Worker-side state, populated by the pool initializer.  With the fork
@@ -158,15 +176,22 @@ _WORKER: dict = {}
 def _init_worker(attack: Attack, base_seed: int, track_perf: bool) -> None:
     _WORKER["attack"] = attack
     _WORKER["base_seed"] = base_seed
+    profiler = getattr(attack, "profiler", None)
     if track_perf:
-        recorder = PerfRecorder()
+        recorder = PerfRecorder(registry=MetricsRegistry())
         attack.model.perf = recorder
+        if profiler is not None:
+            # worker phase spans mirror into the worker's own registry,
+            # which rides home inside each chunk's perf snapshot
+            profiler.registry = recorder.registry
     else:
         recorder = None
         # detach the fork-copied parent recorder: an untracked run must not
         # pay recording overhead into an object the parent never reads
         if getattr(attack.model, "perf", None) is not None:
             attack.model.perf = None
+        if profiler is not None:
+            profiler.registry = None
     _WORKER["recorder"] = recorder
 
 

@@ -8,9 +8,18 @@ when one is attached (``model.perf = recorder``), and
 :class:`~repro.experiments.common.ExperimentContext` attaches a shared
 recorder to every victim it builds.
 
+A recorder can carry a :class:`~repro.obs.registry.MetricsRegistry`
+(``PerfRecorder(registry=...)``): model-side hooks then also feed the
+``forward/batch_seconds`` latency histogram and the ``phase/tokenize``
+counters, and the registry snapshot rides inside :meth:`PerfRecorder.
+snapshot` so pool workers ship *all* their metrics home through the one
+existing merge path.
+
 ``write_bench_json`` serializes a metrics dict in the stable schema
 ``{metric: {"value": ..., "unit": ...}}`` used by ``BENCH_inference.json``
-at the repo root, so successive PRs can diff perf trajectories.
+at the repo root, so successive PRs can diff perf trajectories.  Passing a
+:class:`~repro.obs.registry.Histogram` instead of a scalar value writes a
+quantile entry (count / mean / p50-p99 / max) under the same metric name.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.obs.registry import Histogram, MetricsRegistry
 
 __all__ = ["BucketStats", "PerfRecorder", "write_bench_json", "read_bench_json"]
 
@@ -48,6 +59,9 @@ class PerfRecorder:
     forward_seconds: float = 0.0
     buckets: dict[int, BucketStats] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
+    #: optional MetricsRegistry: model hooks mirror into ``forward/*`` and
+    #: ``phase/tokenize``; rides inside :meth:`snapshot` for worker merging
+    registry: MetricsRegistry | None = None
 
     # -- model-side hooks ---------------------------------------------------
     def record_forward(self, n_docs: int, padded_len: int, seconds: float) -> None:
@@ -59,6 +73,18 @@ class PerfRecorder:
         stats.n_batches += 1
         stats.n_docs += n_docs
         stats.seconds += seconds
+        if self.registry is not None:
+            self.registry.inc("forward/batches")
+            self.registry.inc("forward/docs", n_docs)
+            self.registry.inc("forward/seconds", seconds)
+            self.registry.observe("forward/batch_seconds", seconds)
+
+    def record_encode(self, n_docs: int, seconds: float) -> None:
+        """Tokenization/encoding time for one batch (kept out of forward time)."""
+        self.increment("encode_seconds", seconds)
+        if self.registry is not None:
+            self.registry.inc("phase/tokenize_calls")
+            self.registry.inc("phase/tokenize_seconds", seconds)
 
     # -- generic counters/timers --------------------------------------------
     def increment(self, name: str, amount: float = 1.0) -> None:
@@ -96,6 +122,7 @@ class PerfRecorder:
                 for k, s in self.buckets.items()
             },
             "counters": dict(self.counters),
+            "registry": self.registry.snapshot() if self.registry is not None else None,
         }
 
     def merge(self, snapshot: "dict | PerfRecorder") -> "PerfRecorder":
@@ -113,6 +140,12 @@ class PerfRecorder:
             stats.seconds += entry["seconds"]
         for name, amount in snapshot["counters"].items():
             self.increment(name, amount)
+        # .get: snapshots from before the registry existed lack the key
+        registry_snapshot = snapshot.get("registry")
+        if registry_snapshot:
+            if self.registry is None:
+                self.registry = MetricsRegistry()
+            self.registry.merge(registry_snapshot)
         return self
 
     # -- reporting ----------------------------------------------------------
@@ -152,22 +185,51 @@ class PerfRecorder:
         self.forward_seconds = 0.0
         self.buckets.clear()
         self.counters.clear()
+        if self.registry is not None:
+            self.registry.reset()
 
 
 def write_bench_json(path: str | Path, metrics: dict[str, tuple[float, str]]) -> dict:
     """Write ``{metric: {"value": v, "unit": u}}`` sorted by metric name.
 
-    ``metrics`` maps metric name → ``(value, unit)``.  Returns the payload
-    that was written (useful for asserting on it in benchmarks).
+    ``metrics`` maps metric name → ``(value, unit)``.  A scalar value
+    writes exactly ``{"value", "unit"}``; a
+    :class:`~repro.obs.registry.Histogram` value writes a quantile entry
+    (``count``/``mean``/``quantiles`` p50-p99/``max``) so latency
+    distributions can ride in BENCH files next to the scalar trajectory
+    metrics.  Returns the payload that was written (useful for asserting
+    on it in benchmarks).
     """
-    payload = {
-        name: {"value": value, "unit": unit}
-        for name, (value, unit) in sorted(metrics.items())
-    }
+    payload: dict[str, dict] = {}
+    for name, (value, unit) in sorted(metrics.items()):
+        if isinstance(value, Histogram):
+            payload[name] = {
+                "unit": unit,
+                "count": value.count,
+                "mean": value.mean,
+                "quantiles": {
+                    "p50": value.quantile(0.5),
+                    "p90": value.quantile(0.9),
+                    "p95": value.quantile(0.95),
+                    "p99": value.quantile(0.99),
+                },
+                "max": 0.0 if value.count == 0 else value.max,
+            }
+        else:
+            payload[name] = {"value": value, "unit": unit}
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 
 
 def read_bench_json(path: str | Path) -> dict:
-    """Read a ``write_bench_json`` file back into ``{metric: {value, unit}}``."""
-    return json.loads(Path(path).read_text())
+    """Read a ``write_bench_json`` file back into ``{metric: {value, unit}}``.
+
+    Deliberately tolerant: per-metric fields beyond ``value``/``unit``
+    (histogram quantiles, fields added by future writers) are preserved
+    as-is rather than rejected, so old readers keep working as the BENCH
+    schema grows.
+    """
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: BENCH file must hold a JSON object")
+    return payload

@@ -58,12 +58,15 @@ class HeartbeatMonitor:
         done: int = 0,
         n_failures: int = 0,
         perf=None,
+        registry=None,
     ) -> None:
         self.total = total
         self.callback = callback
         self.done = done
         self.n_failures = n_failures
         self.perf = perf
+        #: optional MetricsRegistry mirror: vitals become ``run/*`` gauges
+        self.registry = registry
         self._fresh = 0
         self._start = time.perf_counter()
 
@@ -74,8 +77,26 @@ class HeartbeatMonitor:
         if isinstance(outcome, AttackFailure):
             self.n_failures += 1
         beat = self.snapshot()
+        if self.registry is not None:
+            self.registry.set_gauge("run/done", beat.done)
+            self.registry.set_gauge("run/total", beat.total)
+            self.registry.set_gauge("run/failures", beat.n_failures)
+            self.registry.set_gauge("run/docs_per_second", beat.docs_per_second)
         if self.callback is not None:
             self.callback(beat)
+        return beat
+
+    def finish(self) -> Heartbeat:
+        """Signal run completion to callbacks that care (duck-typed).
+
+        A callback exposing ``finish(beat)`` — like
+        :class:`ProgressPrinter` — gets one final un-throttled call; plain
+        lambdas and test callbacks are unaffected.
+        """
+        beat = self.snapshot()
+        callback_finish = getattr(self.callback, "finish", None)
+        if callback_finish is not None:
+            callback_finish(beat)
         return beat
 
     def snapshot(self) -> Heartbeat:
@@ -124,4 +145,16 @@ class ProgressPrinter:
             f" | {beat.docs_per_second:.2f} docs/s"
             f" | ETA {eta}",
             file=self.stream,
+            flush=True,
+        )
+
+    def finish(self, beat: Heartbeat) -> None:
+        """Final un-throttled summary line, flushed so piped logs end clean."""
+        print(
+            f"[attack] finished {beat.done}/{beat.total} docs"
+            f" | {beat.n_failures} failed"
+            f" | {beat.docs_per_second:.2f} docs/s"
+            f" | {beat.elapsed_seconds:.1f}s elapsed",
+            file=self.stream,
+            flush=True,
         )

@@ -6,9 +6,12 @@ Usage::
     python -m repro.experiments table2 figure4    # several
     python -m repro.experiments all               # everything
     python -m repro.experiments table3 --save results/   # + JSON/CSV dumps
+    python -m repro.experiments report runs/      # render a traced run
 
 Results print as aligned text tables; trained victims are cached under
-``.cache/`` so repeated runs are fast.
+``.cache/`` so repeated runs are fast.  Setting ``REPRO_TRACE_DIR`` (or
+``ExperimentContext(trace_dir=...)``) records per-document attack traces
+and run metrics, which ``report`` renders as markdown.
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ from repro.experiments import (
     table6,
 )
 from repro.experiments.common import ExperimentContext
+from repro.obs.report import render_report
+from repro.obs.trace import validate_run_dir
 
 _ARTIFACTS = {
     "table2": (table2.run, table2.render),
@@ -48,7 +53,44 @@ _ARTIFACTS = {
 _SAVEABLE = {"table2", "table3", "table4", "table5", "table6", "figure4"}
 
 
+def _report_main(argv: list[str]) -> int:
+    """``report <run_dir>``: render the markdown digest of a traced run."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report",
+        description="Render a markdown report for a traced attack run.",
+    )
+    parser.add_argument("run_dir", help="directory passed as trace_dir / REPRO_TRACE_DIR")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-validate every trace line before rendering",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the markdown to FILE instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    if args.validate:
+        checked = validate_run_dir(args.run_dir)
+        print(f"[validated {checked} trace lines]", file=sys.stderr)
+    markdown = render_report(args.run_dir)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown + "\n")
+        print(f"[report written to {args.out}]", file=sys.stderr)
+    else:
+        print(markdown)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `report` is a verb, not an artifact: dispatch before the artifact parser
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -79,6 +121,22 @@ def main(argv: list[str] | None = None) -> int:
             saved = writer.save(name, rows, artifact=name)
             print(f"[saved {saved} and the matching .csv]")
         print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+    phases = {
+        name: seconds
+        for name, seconds in sorted(context.metrics.counters.items())
+        if name.startswith("phase/") and name.endswith("_seconds")
+    }
+    if phases:
+        print("\n=== phase breakdown ===")
+        total = sum(phases.values()) or 1.0
+        for name, seconds in phases.items():
+            path = name[len("phase/") : -len("_seconds")]
+            print(f"  {path:<28} {seconds:8.3f}s  {100.0 * seconds / total:5.1f}%")
+    if context.trace_dir is not None:
+        print(
+            f"\n[traces in {context.trace_dir}; render with"
+            f" `python -m repro.experiments report {context.trace_dir}`]"
+        )
     return 0
 
 

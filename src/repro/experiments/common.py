@@ -54,6 +54,9 @@ from repro.eval.perf import PerfRecorder
 from repro.eval.progress import ProgressPrinter
 from repro.models import GRUClassifier, LSTMClassifier, TextClassifier, TrainConfig, WCNN, fit
 from repro.nn.serialization import load, save
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import PhaseProfiler
+from repro.obs.trace import TRACE_DIR_ENV
 from repro.text import (
     NGramLM,
     Vocabulary,
@@ -121,6 +124,7 @@ class ExperimentContext:
         n_workers: int | None = None,
         progress=None,
         journal_dir: str | os.PathLike | None = None,
+        trace_dir: str | os.PathLike | None = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         default_cache = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
@@ -143,6 +147,14 @@ class ExperimentContext:
         if journal_dir is None and env_journal:
             journal_dir = env_journal
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        #: root directory for per-cell attack traces / metrics.json /
+        #: failures.jsonl; None disables tracing.  REPRO_TRACE_DIR provides
+        #: an env default, so any driver run can be traced without code
+        #: changes and rendered with `python -m repro.experiments report`.
+        env_trace = os.environ.get(TRACE_DIR_ENV, "").strip()
+        if trace_dir is None and env_trace:
+            trace_dir = env_trace
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self._datasets: dict[str, TextDataset] = {}
         self._lexicons: dict[str, DomainLexicon] = {}
         self._vectors: dict[str, dict[str, np.ndarray]] = {}
@@ -151,9 +163,15 @@ class ExperimentContext:
         self._models: dict[tuple[str, str], TextClassifier] = {}
         self._word_paraphrasers: dict[str, WordParaphraser] = {}
         self._sentence_paraphrasers: dict[str, SentenceParaphraser] = {}
-        # one recorder shared by every victim this context builds; drivers
-        # and benchmarks read/reset it around the sections they measure
-        self.perf = PerfRecorder()
+        # one registry + phase profiler + perf recorder shared by every
+        # victim, paraphraser and attack this context builds; drivers and
+        # benchmarks read/reset them around the sections they measure.  The
+        # profiler mirrors spans into the registry, and the recorder carries
+        # the registry so pool workers ship phase/forward metrics home
+        # through the perf-snapshot merge path.
+        self.metrics = MetricsRegistry()
+        self.profiler = PhaseProfiler(registry=self.metrics)
+        self.perf = PerfRecorder(registry=self.metrics)
 
     # -- corpora -----------------------------------------------------------
     def dataset(self, name: str) -> TextDataset:
@@ -278,12 +296,14 @@ class ExperimentContext:
         # across every attack on a dataset amortizes the WMD filtering
         # over the whole corpus without changing any output.
         if dataset not in self._word_paraphrasers:
-            self._word_paraphrasers[dataset] = WordParaphraser(
+            paraphraser = WordParaphraser(
                 self.lexicon(dataset),
                 self.vectors(dataset),
                 lm=self.language_model(dataset),
                 config=self.paraphrase_config(dataset),
             )
+            paraphraser.profiler = self.profiler
+            self._word_paraphrasers[dataset] = paraphraser
         return self._word_paraphrasers[dataset]
 
     def sentence_paraphraser(self, dataset: str) -> SentenceParaphraser:
@@ -321,7 +341,7 @@ class ExperimentContext:
         tau = self.settings.tau
         if method in ("joint", "joint-greedy"):
             sb = sentence_budget if sentence_budget is not None else self.sentence_budget(dataset)
-            return JointParaphraseAttack(
+            attack: Attack = JointParaphraseAttack(
                 model,
                 wp,
                 self.sentence_paraphraser(dataset),
@@ -332,17 +352,22 @@ class ExperimentContext:
                 strategy=strategy,
                 use_cache=use_cache,
             )
-        if method == "gradient-guided":
-            return GradientGuidedGreedyAttack(model, wp, word_budget, tau=tau, use_cache=use_cache)
-        if method == "objective-greedy":
-            return ObjectiveGreedyWordAttack(
+        elif method == "gradient-guided":
+            attack = GradientGuidedGreedyAttack(
+                model, wp, word_budget, tau=tau, use_cache=use_cache
+            )
+        elif method == "objective-greedy":
+            attack = ObjectiveGreedyWordAttack(
                 model, wp, word_budget, tau=tau, strategy=strategy, use_cache=use_cache
             )
-        if method == "gradient":
-            return GradientWordAttack(model, wp, word_budget)
-        if method == "random":
-            return RandomWordAttack(model, wp, word_budget, seed=self.settings.seed)
-        raise KeyError(f"unknown attack method {method!r}")
+        elif method == "gradient":
+            attack = GradientWordAttack(model, wp, word_budget)
+        elif method == "random":
+            attack = RandomWordAttack(model, wp, word_budget, seed=self.settings.seed)
+        else:
+            raise KeyError(f"unknown attack method {method!r}")
+        attack.set_profiler(self.profiler)
+        return attack
 
     def journal_path(self, tag: str) -> Path | None:
         """Per-cell run-journal file, or ``None`` when journaling is off.
@@ -355,13 +380,21 @@ class ExperimentContext:
         self.journal_dir.mkdir(parents=True, exist_ok=True)
         return self.journal_dir / f"{tag}_{self.settings.cache_key()}.jsonl"
 
+    def trace_path(self, tag: str) -> Path | None:
+        """Per-cell trace directory, or ``None`` when tracing is off."""
+        if self.trace_dir is None:
+            return None
+        return self.trace_dir / tag
+
     def eval_kwargs(self, tag: str) -> dict:
-        """Fault-tolerance keywords every driver passes to evaluate_attack:
-        worker count, heartbeat callback, and the ``tag``'s journal file."""
+        """Observability/fault-tolerance keywords every driver passes to
+        evaluate_attack: worker count, heartbeat callback, the ``tag``'s
+        journal file, and its trace directory."""
         return {
             "n_workers": self.n_workers,
             "progress": self.progress,
             "journal_path": self.journal_path(tag),
+            "trace_dir": self.trace_path(tag),
         }
 
     def attack_runner(

@@ -1,0 +1,65 @@
+"""Unified observability layer: tracing, metrics, phase spans, reports.
+
+Four pieces, designed to compose with the fork-based parallel runner:
+
+- :mod:`repro.obs.trace` — schema-versioned per-document JSONL attack
+  traces (``TraceRecorder`` / ``DocumentTrace``), sampled via
+  ``trace_every_n``;
+- :mod:`repro.obs.registry` — ``MetricsRegistry`` with counters, gauges
+  and mergeable latency histograms, picklable across pool workers;
+- :mod:`repro.obs.spans` — ``PhaseProfiler`` nestable span timers
+  (tokenize / candidate-gen / forward / greedy-select / lm-filter);
+- :mod:`repro.obs.report` — ``metrics.json`` + ``failures.jsonl``
+  writers and the markdown run report behind
+  ``python -m repro.experiments report <run_dir>``.
+"""
+
+from repro.obs.registry import Histogram, MetricsRegistry, default_latency_bounds
+from repro.obs.report import (
+    FAILURES_FILENAME,
+    METRICS_FILENAME,
+    append_failure,
+    load_failures,
+    load_run_metrics,
+    render_phase_table,
+    render_report,
+    write_run_metrics,
+)
+from repro.obs.spans import PhaseProfiler
+from repro.obs.trace import (
+    TRACE_DIR_ENV,
+    TRACE_EVERY_N_ENV,
+    TRACE_SCHEMA_VERSION,
+    DocumentTrace,
+    TraceRecorder,
+    TraceSchemaError,
+    iter_trace_files,
+    read_trace,
+    validate_run_dir,
+    validate_trace_line,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_DIR_ENV",
+    "TRACE_EVERY_N_ENV",
+    "TraceRecorder",
+    "DocumentTrace",
+    "TraceSchemaError",
+    "read_trace",
+    "iter_trace_files",
+    "validate_trace_line",
+    "validate_run_dir",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_bounds",
+    "PhaseProfiler",
+    "METRICS_FILENAME",
+    "FAILURES_FILENAME",
+    "write_run_metrics",
+    "append_failure",
+    "load_run_metrics",
+    "load_failures",
+    "render_report",
+    "render_phase_table",
+]

@@ -1,0 +1,360 @@
+"""Run reports: render a markdown digest of a traced corpus attack run.
+
+A run directory is whatever ``REPRO_TRACE_DIR`` pointed at: the
+experiment drivers give each table cell its own subdirectory, each
+holding per-document ``trace-*.jsonl`` files plus a ``metrics.json``
+(run-level counters merged across resumes, the context registry and
+perf-recorder snapshots replaced with the latest) and an optional
+``failures.jsonl`` of structured :class:`~repro.attacks.base.
+AttackFailure` payloads.
+
+``python -m repro.experiments report <run_dir>`` renders:
+
+- a **summary** — documents traced, success rate, query totals and
+  exact p50/p95 quantiles (from ``attack_end`` events), cache hit rate,
+  wall-time per document;
+- a **per-cell table** when the run directory holds several cells;
+- the **phase breakdown** (``phase/*`` counters from the merged
+  registry) and forward-latency histogram quantiles;
+- **per-bucket forward stats** from the perf snapshot;
+- a **failure digest** grouped by error type.
+
+Everything here consumes plain dicts read back from disk — this module
+must not import the attack or eval layers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import iter_trace_files, read_trace
+
+__all__ = [
+    "METRICS_FILENAME",
+    "FAILURES_FILENAME",
+    "write_run_metrics",
+    "append_failure",
+    "load_run_metrics",
+    "load_failures",
+    "render_report",
+    "render_phase_table",
+]
+
+METRICS_FILENAME = "metrics.json"
+FAILURES_FILENAME = "failures.jsonl"
+METRICS_SCHEMA_VERSION = 1
+
+
+# -- artifact writers (called by evaluate_attack) ---------------------------
+def write_run_metrics(
+    run_dir: str | Path,
+    run_snapshot: dict,
+    context_snapshot: dict | None = None,
+    perf_snapshot: dict | None = None,
+) -> Path:
+    """Write/refresh ``metrics.json`` for one cell directory.
+
+    The ``run`` section is *merged* with any existing file (a resumed run
+    adds to its earlier counters); ``context`` and ``perf`` are cumulative
+    snapshots of long-lived recorders, so the latest write simply
+    replaces them.
+    """
+    path = Path(run_dir) / METRICS_FILENAME
+    merged = MetricsRegistry()
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        if isinstance(existing.get("run"), dict):
+            merged.merge(existing["run"])
+    merged.merge(run_snapshot)
+    if perf_snapshot is not None:
+        # the registry rides inside perf snapshots for worker merging; it
+        # duplicates the context section here, so drop it from the copy
+        perf_snapshot = {k: v for k, v in perf_snapshot.items() if k != "registry"}
+    payload = {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "run": merged.snapshot(),
+        "context": context_snapshot,
+        "perf": perf_snapshot,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def append_failure(run_dir: str | Path, failure_payload: dict) -> None:
+    """Append one ``AttackFailure.to_dict()`` line to ``failures.jsonl``."""
+    path = Path(run_dir) / FAILURES_FILENAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(failure_payload) + "\n")
+        fh.flush()
+
+
+# -- artifact readers --------------------------------------------------------
+def load_run_metrics(run_dir: str | Path) -> dict:
+    """Aggregate every ``metrics.json`` under ``run_dir``.
+
+    ``run`` sections merge across cells; ``context``/``perf`` are
+    cumulative snapshots of recorders shared by every cell in one driver
+    process, so the latest-written file carries the run-wide totals and
+    is taken whole rather than merged (merging would double count).
+    """
+    run = MetricsRegistry()
+    context: dict | None = None
+    perf: dict | None = None
+    latest_mtime = -1.0
+    per_cell: dict[str, dict] = {}
+    for path in sorted(Path(run_dir).rglob(METRICS_FILENAME)):
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+        if isinstance(payload.get("run"), dict):
+            run.merge(payload["run"])
+            per_cell[str(path.parent.relative_to(run_dir)) or "."] = payload["run"]
+        mtime = path.stat().st_mtime
+        if mtime >= latest_mtime:
+            latest_mtime = mtime
+            context = payload.get("context")
+            perf = payload.get("perf")
+    return {"run": run, "context": context, "perf": perf, "per_cell": per_cell}
+
+
+def load_failures(run_dir: str | Path) -> list[dict]:
+    failures: list[dict] = []
+    for path in sorted(Path(run_dir).rglob(FAILURES_FILENAME)):
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                failures.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # truncated final line from a crash mid-append
+    return failures
+
+
+# -- rendering ---------------------------------------------------------------
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def _exact_quantile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def render_phase_table(counters: dict[str, float]) -> str:
+    """Markdown table of ``phase/*_seconds`` counters with share-of-total."""
+    phases: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        if not name.startswith("phase/"):
+            continue
+        if name.endswith("_seconds"):
+            phases.setdefault(name[len("phase/") : -len("_seconds")], {})["seconds"] = value
+        elif name.endswith("_calls"):
+            phases.setdefault(name[len("phase/") : -len("_calls")], {})["calls"] = value
+    if not phases:
+        return "_no phase spans recorded_"
+    total = sum(entry.get("seconds", 0.0) for entry in phases.values()) or 1.0
+    rows = [
+        [
+            path,
+            _fmt(entry.get("calls", 0.0)),
+            f"{entry.get('seconds', 0.0):.3f}",
+            f"{100.0 * entry.get('seconds', 0.0) / total:.1f}%",
+        ]
+        for path, entry in sorted(phases.items())
+    ]
+    return _md_table(["phase", "calls", "seconds", "share"], rows)
+
+
+def _trace_digest(run_dir: str | Path) -> dict:
+    """Fold every per-document trace under ``run_dir`` into aggregates."""
+    digest = {
+        "n_traces": 0,
+        "n_events": 0,
+        "n_success": 0,
+        "queries": [],  # per-doc n_queries from attack_end
+        "wall_times": [],
+        "cache_hits": 0,
+        "greedy_iterations": 0,
+        "rescans": 0,
+        "forwards": 0,
+        "errors": 0,
+        "attacks": set(),
+    }
+    for path in iter_trace_files(run_dir):
+        events = read_trace(path)
+        if not events:
+            continue
+        digest["n_traces"] += 1
+        digest["n_events"] += len(events)
+        for event in events:
+            kind = event.get("kind")
+            if kind == "attack_start":
+                digest["attacks"].add(event.get("attack", "?"))
+            elif kind == "greedy_iteration":
+                digest["greedy_iterations"] += 1
+                digest["rescans"] += event.get("rescans", 0)
+            elif kind == "forward":
+                digest["forwards"] += event.get("n_forwards", 0)
+            elif kind == "attack_end":
+                digest["n_success"] += bool(event.get("success"))
+                digest["queries"].append(event.get("n_queries", 0))
+                digest["wall_times"].append(event.get("wall_time", 0.0))
+                digest["cache_hits"] += event.get("n_cache_hits", 0)
+            elif kind == "attack_error":
+                digest["errors"] += 1
+    return digest
+
+
+def render_report(run_dir: str | Path) -> str:
+    """Render the full markdown run report for ``run_dir``."""
+    run_dir = Path(run_dir)
+    traces = _trace_digest(run_dir)
+    metrics = load_run_metrics(run_dir)
+    failures = load_failures(run_dir)
+    run: MetricsRegistry = metrics["run"]
+
+    out: list[str] = [f"# Attack run report — `{run_dir.name}`", ""]
+
+    # -- summary ------------------------------------------------------------
+    n_docs = traces["n_traces"]
+    done = traces["queries"]
+    total_queries = sum(done)
+    hit_denominator = total_queries + traces["cache_hits"]
+    summary_rows = [
+        ["documents traced", _fmt(n_docs)],
+        ["trace events", _fmt(traces["n_events"])],
+        ["attacks", ", ".join(sorted(traces["attacks"])) or "—"],
+        [
+            "success rate (traced docs)",
+            f"{traces['n_success'] / n_docs:.1%}" if n_docs else "—",
+        ],
+        ["total model queries", _fmt(total_queries)],
+        ["queries/doc p50", _fmt(_exact_quantile(done, 0.5))],
+        ["queries/doc p95", _fmt(_exact_quantile(done, 0.95))],
+        [
+            "cache hit rate",
+            f"{traces['cache_hits'] / hit_denominator:.1%}" if hit_denominator else "—",
+        ],
+        ["greedy iterations", _fmt(traces["greedy_iterations"])],
+        ["lazy-heap rescans", _fmt(traces["rescans"])],
+        [
+            "wall time/doc p50",
+            f"{_exact_quantile(traces['wall_times'], 0.5):.3f}s" if n_docs else "—",
+        ],
+        [
+            "wall time/doc p95",
+            f"{_exact_quantile(traces['wall_times'], 0.95):.3f}s" if n_docs else "—",
+        ],
+        ["failures recorded", _fmt(len(failures) + traces["errors"])],
+    ]
+    out += ["## Summary", "", _md_table(["metric", "value"], summary_rows), ""]
+
+    # -- per-cell table -----------------------------------------------------
+    per_cell = metrics["per_cell"]
+    if len(per_cell) > 1:
+        rows = []
+        for cell, snap in sorted(per_cell.items()):
+            counters = snap.get("counters", {})
+            cell_docs = counters.get("attack/docs", 0.0)
+            rows.append(
+                [
+                    f"`{cell}`",
+                    _fmt(cell_docs),
+                    f"{counters.get('attack/successes', 0.0) / cell_docs:.1%}"
+                    if cell_docs
+                    else "—",
+                    _fmt(counters.get("attack/n_queries", 0.0)),
+                    _fmt(counters.get("attack/failures", 0.0)),
+                ]
+            )
+        out += [
+            "## Per-cell",
+            "",
+            _md_table(["cell", "docs", "success", "queries", "failures"], rows),
+            "",
+        ]
+
+    # -- phase breakdown ----------------------------------------------------
+    context = metrics["context"] or {}
+    phase_counters = dict(run.counters)
+    phase_counters.update(context.get("counters", {}))
+    out += ["## Phase breakdown", "", render_phase_table(phase_counters), ""]
+
+    # -- forward batches ----------------------------------------------------
+    out += ["## Forward batches", ""]
+    perf = metrics["perf"]
+    if perf:
+        forward_rows = [
+            ["forward batches", _fmt(perf.get("n_forward_batches", 0))],
+            ["forward docs", _fmt(perf.get("n_forward_docs", 0))],
+            ["forward seconds", f"{perf.get('forward_seconds', 0.0):.3f}"],
+        ]
+        hist_snap = (context.get("histograms") or {}).get("forward/batch_seconds")
+        if hist_snap:
+            hist = Histogram.from_snapshot(hist_snap)
+            forward_rows += [
+                ["batch latency p50", f"{hist.quantile(0.5) * 1e3:.2f} ms"],
+                ["batch latency p95", f"{hist.quantile(0.95) * 1e3:.2f} ms"],
+            ]
+        out += [_md_table(["metric", "value"], forward_rows), ""]
+        buckets = perf.get("buckets") or {}
+        if buckets:
+            rows = [
+                [
+                    str(padded_len),
+                    _fmt(stats.get("n_batches", 0)),
+                    _fmt(stats.get("n_docs", 0)),
+                    f"{stats.get('seconds', 0.0):.3f}",
+                ]
+                for padded_len, stats in sorted(
+                    buckets.items(), key=lambda kv: int(kv[0])
+                )
+            ]
+            out += [
+                _md_table(["padded len", "batches", "docs", "seconds"], rows),
+                "",
+            ]
+    else:
+        out += ["_no perf snapshot recorded_", ""]
+
+    # -- failure digest -----------------------------------------------------
+    out += ["## Failure digest", ""]
+    if failures:
+        by_type: dict[str, list[dict]] = {}
+        for failure in failures:
+            by_type.setdefault(failure.get("error_type", "?"), []).append(failure)
+        rows = [
+            [
+                error_type,
+                _fmt(len(items)),
+                (items[0].get("error_message", "") or "—")[:80],
+            ]
+            for error_type, items in sorted(by_type.items())
+        ]
+        out += [_md_table(["error type", "count", "first message"], rows), ""]
+    else:
+        out += ["_no failures_", ""]
+
+    return "\n".join(out)

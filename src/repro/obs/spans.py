@@ -1,0 +1,76 @@
+"""Nestable phase span timers (tokenize / candidate-gen / forward / ...).
+
+A :class:`PhaseProfiler` hands out context-manager spans; nested spans
+compose slash-separated paths (``candidate-gen/lm-filter``), so a phase
+breakdown distinguishes time spent in the LM filter *inside* candidate
+generation from a stand-alone LM pass.  Span totals are kept locally
+(:meth:`report`) and, when a
+:class:`~repro.obs.registry.MetricsRegistry` is attached, mirrored into
+``phase/<path>_seconds`` / ``phase/<path>_calls`` counters — which is
+how worker-side phase time reaches the parent process: the worker's
+registry rides home inside the ``PerfRecorder`` snapshot and merges as
+plain counters.
+
+One profiler is shared across an :class:`~repro.experiments.common.
+ExperimentContext`'s attacks, paraphrasers, and victims, so every
+table/figure driver can print one coherent phase breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates wall-time per nested span path."""
+
+    def __init__(self, registry=None) -> None:
+        #: optional MetricsRegistry mirror (duck-typed: needs ``inc``)
+        self.registry = registry
+        #: path -> [calls, seconds]
+        self.spans: dict[str, list] = {}
+        self._stack: list[str] = []
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a phase; nested spans extend the path with ``/``."""
+        self._stack.append(name)
+        path = "/".join(self._stack)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            entry = self.spans.setdefault(path, [0, 0.0])
+            entry[0] += 1
+            entry[1] += elapsed
+            if self.registry is not None:
+                self.registry.inc(f"phase/{path}_calls")
+                self.registry.inc(f"phase/{path}_seconds", elapsed)
+
+    def report(self) -> dict[str, dict]:
+        """``{path: {"calls": n, "seconds": s}}``, sorted by path."""
+        return {
+            path: {"calls": calls, "seconds": seconds}
+            for path, (calls, seconds) in sorted(self.spans.items())
+        }
+
+    # -- cross-process merging ----------------------------------------------
+    def snapshot(self) -> dict:
+        return {path: list(entry) for path, entry in self.spans.items()}
+
+    def merge(self, snapshot: "dict | PhaseProfiler") -> "PhaseProfiler":
+        if isinstance(snapshot, PhaseProfiler):
+            snapshot = snapshot.snapshot()
+        for path, (calls, seconds) in snapshot.items():
+            entry = self.spans.setdefault(path, [0, 0.0])
+            entry[0] += calls
+            entry[1] += seconds
+        return self
+
+    def reset(self) -> None:
+        self.spans.clear()

@@ -1,6 +1,7 @@
 """ScoreCache correctness: identity, dedup, and stochastic-scoring invalidation."""
 
 import numpy as np
+import pytest
 
 from repro.attacks import ObjectiveGreedyWordAttack, ScoreCache, score_key
 from repro.attacks.transformations import apply_word_substitutions
@@ -29,6 +30,68 @@ class TestScoreCacheUnit:
         cache.clear()
         assert len(cache) == 0
         assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestBoundedCache:
+    def test_unbounded_by_default(self):
+        cache = ScoreCache()
+        for i in range(1000):
+            cache.put(score_key([str(i)], 0), float(i))
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+
+    def test_eviction_drops_oldest_insertion(self):
+        cache = ScoreCache(max_entries=2)
+        keys = [score_key([w], 0) for w in ("a", "b", "c")]
+        cache.put(keys[0], 0.0)
+        cache.put(keys[1], 1.0)
+        cache.put(keys[2], 2.0)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(keys[0]) is None  # oldest went first
+        assert cache.get(keys[1]) == 1.0
+        assert cache.get(keys[2]) == 2.0
+
+    def test_overwriting_existing_key_does_not_evict(self):
+        cache = ScoreCache(max_entries=2)
+        key = score_key(["a"], 0)
+        cache.put(key, 0.1)
+        cache.put(score_key(["b"], 0), 0.2)
+        cache.put(key, 0.3)  # full, but the key is already present
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get(key) == 0.3
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreCache(max_entries=0)
+
+    def test_clear_resets_eviction_count(self):
+        cache = ScoreCache(max_entries=1)
+        cache.put(score_key(["a"], 0), 0.1)
+        cache.put(score_key(["b"], 0), 0.2)
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_bounded_attack_stays_correct_and_accounts_evictions(
+        self, victim, word_paraphraser, attackable_docs
+    ):
+        """A tiny cache changes accounting, never the attack outcome."""
+        doc, target = attackable_docs[0]
+        unbounded = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2, use_cache=True)
+        bounded = ObjectiveGreedyWordAttack(
+            victim, word_paraphraser, 0.2, use_cache=True, cache_max_entries=4
+        )
+        ru = unbounded.attack(doc, target)
+        rb = bounded.attack(doc, target)
+        assert rb.adversarial == ru.adversarial
+        assert rb.adversarial_prob == ru.adversarial_prob
+        assert ru.n_cache_evictions == 0
+        assert rb.n_cache_evictions > 0  # tiny bound must have churned
+        assert rb.n_queries >= ru.n_queries  # evictions can only cost re-forwards
+        # every requested score is either paid or served, bounded or not
+        assert rb.n_queries + rb.n_cache_hits == ru.n_queries + ru.n_cache_hits
 
 
 class TestCachedScoring:

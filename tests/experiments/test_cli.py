@@ -3,6 +3,9 @@
 import pytest
 
 from repro.experiments.__main__ import _ARTIFACTS, main
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import write_run_metrics
+from repro.obs.trace import DocumentTrace, TraceSchemaError
 
 
 class TestCli:
@@ -39,3 +42,52 @@ class TestCli:
     def test_requires_at_least_one(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+@pytest.fixture
+def traced_run(tmp_path):
+    """A minimal but schema-valid run directory for the report verb."""
+    trace = DocumentTrace(tmp_path / "trace-000000.jsonl", doc_index=0)
+    trace.emit("attack_start", attack="greedy", target_label=1, n_tokens=5, seed=0)
+    trace.emit("forward", op="score", n_docs=2, n_forwards=2, n_cache_hits=0)
+    trace.emit(
+        "attack_end",
+        success=True,
+        n_queries=2,
+        n_cache_hits=0,
+        wall_time=0.01,
+        n_word_changes=1,
+        adversarial_prob=0.9,
+    )
+    trace.close()
+    reg = MetricsRegistry()
+    reg.inc("attack/docs")
+    write_run_metrics(tmp_path, reg.snapshot())
+    return tmp_path
+
+
+class TestReportCli:
+    def test_report_prints_markdown(self, capsys, traced_run):
+        assert main(["report", str(traced_run)]) == 0
+        out = capsys.readouterr().out
+        assert "# Attack run report" in out
+        assert "| documents traced | 1 |" in out
+
+    def test_report_validate_counts_lines(self, capsys, traced_run):
+        assert main(["report", str(traced_run), "--validate"]) == 0
+        assert "[validated 3 trace lines]" in capsys.readouterr().err
+
+    def test_report_validate_rejects_bad_trace(self, traced_run):
+        (traced_run / "trace-000001.jsonl").write_text('{"v": 1, "kind": "bogus"}\n')
+        with pytest.raises(TraceSchemaError):
+            main(["report", str(traced_run), "--validate"])
+
+    def test_report_out_writes_file(self, capsys, traced_run, tmp_path):
+        out_file = tmp_path / "report.md"
+        assert main(["report", str(traced_run), "--out", str(out_file)]) == 0
+        assert out_file.read_text().startswith("# Attack run report")
+        assert capsys.readouterr().out == ""  # markdown went to the file
+
+    def test_report_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

@@ -1,0 +1,153 @@
+"""End-to-end observability: traces, registry, and results reconcile exactly.
+
+The acceptance contract: for every traced document the summed ``forward``
+event ``n_forwards`` equals the ``attack_end`` ``n_queries``, and both
+equal ``AttackResult.n_queries`` — serially and under the process pool,
+where worker registries merge back into the run's ``metrics.json``.
+"""
+
+import json
+
+import pytest
+
+from repro.attacks import ObjectiveGreedyWordAttack
+from repro.eval.metrics import evaluate_attack
+from repro.obs.report import METRICS_FILENAME, load_run_metrics, render_report
+from repro.obs.trace import iter_trace_files, read_trace, validate_run_dir
+
+N_EXAMPLES = 6
+
+
+def _attack(victim, word_paraphraser):
+    return ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2, use_cache=True)
+
+
+def _traced_run(victim, word_paraphraser, atk_corpus, trace_dir, n_workers, **kwargs):
+    attack = _attack(victim, word_paraphraser)
+    evaluation = evaluate_attack(
+        victim,
+        attack,
+        atk_corpus.test[:N_EXAMPLES],
+        seed=0,
+        n_workers=n_workers,
+        trace_dir=trace_dir,
+        **kwargs,
+    )
+    return attack, evaluation
+
+
+class TestTraceReconciliation:
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_forwards_reconcile_with_n_queries(
+        self, victim, word_paraphraser, atk_corpus, tmp_path, n_workers
+    ):
+        _, evaluation = _traced_run(
+            victim, word_paraphraser, atk_corpus, tmp_path, n_workers
+        )
+        assert evaluation.n_attacked >= 1
+        assert not evaluation.failures
+        trace_files = list(iter_trace_files(tmp_path))
+        assert len(trace_files) == evaluation.n_attacked
+
+        traced_queries = {}
+        for path in trace_files:
+            events = read_trace(path)
+            kinds = [e["kind"] for e in events]
+            assert kinds[0] == "attack_start"
+            assert kinds[-1] == "attack_end"
+            end = events[-1]
+            paid = sum(e["n_forwards"] for e in events if e["kind"] == "forward")
+            assert paid == end["n_queries"]  # exact, per document
+            traced_queries[end["doc_index"]] = end["n_queries"]
+
+        # seed index j is the trace's doc_index; results keep input order
+        assert sorted(traced_queries) == list(range(evaluation.n_attacked))
+        assert [traced_queries[j] for j in sorted(traced_queries)] == [
+            r.n_queries for r in evaluation.results
+        ]
+
+        # the run registry saw the same totals the traces and results did
+        payload = json.loads((tmp_path / METRICS_FILENAME).read_text())
+        counters = payload["run"]["counters"]
+        assert counters["attack/docs"] == evaluation.n_attacked
+        assert counters["attack/n_queries"] == sum(traced_queries.values())
+        assert counters["attack/successes"] == sum(
+            r.success for r in evaluation.results
+        )
+        assert payload["run"]["gauges"]["run/done"] == evaluation.n_attacked
+
+    def test_pooled_equals_serial(self, victim, word_paraphraser, atk_corpus, tmp_path):
+        _, serial = _traced_run(
+            victim, word_paraphraser, atk_corpus, tmp_path / "w1", 1
+        )
+        _, pooled = _traced_run(
+            victim, word_paraphraser, atk_corpus, tmp_path / "w2", 2
+        )
+        assert [r.n_queries for r in serial.results] == [
+            r.n_queries for r in pooled.results
+        ]
+        assert [r.adversarial for r in serial.results] == [
+            r.adversarial for r in pooled.results
+        ]
+        serial_run = load_run_metrics(tmp_path / "w1")["run"]
+        pooled_run = load_run_metrics(tmp_path / "w2")["run"]
+        for name in ("attack/docs", "attack/n_queries", "attack/successes"):
+            assert serial_run.counter(name) == pooled_run.counter(name)
+
+    def test_run_dir_is_schema_valid_and_renders(
+        self, victim, word_paraphraser, atk_corpus, tmp_path
+    ):
+        _, evaluation = _traced_run(victim, word_paraphraser, atk_corpus, tmp_path, 1)
+        assert validate_run_dir(tmp_path) > 0
+        report = render_report(tmp_path)
+        assert f"| documents traced | {evaluation.n_attacked} |" in report
+        total = sum(r.n_queries for r in evaluation.results)
+        assert f"| total model queries | {total} |" in report
+
+
+class TestTraceLifecycle:
+    def test_tracer_restored_after_run(
+        self, victim, word_paraphraser, atk_corpus, tmp_path
+    ):
+        attack, _ = _traced_run(victim, word_paraphraser, atk_corpus, tmp_path, 1)
+        assert attack.tracer is None  # prior (unset) tracer restored
+        assert attack._trace is None
+
+    def test_trace_every_n_samples_documents(
+        self, victim, word_paraphraser, atk_corpus, tmp_path
+    ):
+        _, evaluation = _traced_run(
+            victim, word_paraphraser, atk_corpus, tmp_path, 1, trace_every_n=2
+        )
+        traced = [p.name for p in iter_trace_files(tmp_path)]
+        expected = [
+            f"trace-{j:06d}.jsonl" for j in range(evaluation.n_attacked) if j % 2 == 0
+        ]
+        assert traced == expected
+
+    def test_no_trace_dir_means_no_artifacts(
+        self, victim, word_paraphraser, atk_corpus, tmp_path
+    ):
+        attack = _attack(victim, word_paraphraser)
+        evaluate_attack(victim, attack, atk_corpus.test[:2], seed=0, n_workers=1)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_direct_attack_call_self_opens_trace(
+        self, victim, word_paraphraser, attackable_docs, tmp_path
+    ):
+        from repro.obs.trace import TraceRecorder
+
+        doc, target = attackable_docs[0]
+        attack = _attack(victim, word_paraphraser)
+        attack.tracer = TraceRecorder(tmp_path)
+        result = attack.attack(doc, target)
+        second = attack.attack(doc, target)
+        files = list(iter_trace_files(tmp_path))
+        assert [p.name for p in files] == ["trace-000000.jsonl", "trace-000001.jsonl"]
+        for path, res in zip(files, (result, second)):
+            events = read_trace(path)
+            end = events[-1]
+            assert end["kind"] == "attack_end"
+            assert end["n_queries"] == res.n_queries
+            paid = sum(e["n_forwards"] for e in events if e["kind"] == "forward")
+            assert paid == res.n_queries

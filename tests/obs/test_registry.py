@@ -1,0 +1,188 @@
+"""MetricsRegistry / Histogram: observation, quantiles, sharded merging."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.obs.registry import Histogram, MetricsRegistry, default_latency_bounds
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary()["max"] == 0.0
+
+    def test_observe_tracks_exact_sum_and_range(self):
+        hist = Histogram(bounds=[1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == 555.5
+        assert hist.min == 0.5
+        assert hist.max == 500.0
+        assert hist.counts == [1, 1, 1, 1]  # one per bucket incl. overflow
+
+    def test_bucket_edges_are_inclusive_on_the_right(self):
+        hist = Histogram(bounds=[1.0, 10.0])
+        hist.observe(1.0)
+        hist.observe(10.0)
+        assert hist.counts == [1, 1, 0]
+
+    def test_quantile_clamps_to_observed_range(self):
+        hist = Histogram(bounds=[100.0])
+        hist.observe(3.0)
+        hist.observe(4.0)
+        # interpolation inside [0, 100] would say ~50; clamp says <= max
+        assert hist.quantile(0.5) <= 4.0
+        assert hist.quantile(0.0) >= 3.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_quantile_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_quantile_is_monotone(self):
+        rng = random.Random(7)
+        hist = Histogram()
+        for _ in range(500):
+            hist.observe(rng.uniform(1e-5, 50.0))
+        qs = [hist.quantile(q / 10.0) for q in range(11)]
+        assert qs == sorted(qs)
+
+    def test_snapshot_roundtrip(self):
+        hist = Histogram(bounds=[1.0, 2.0])
+        hist.observe(0.5)
+        hist.observe(1.5)
+        clone = Histogram.from_snapshot(hist.snapshot())
+        assert clone.snapshot() == hist.snapshot()
+
+    def test_merge_equals_serial_observation(self):
+        rng = random.Random(3)
+        values = [rng.uniform(1e-6, 100.0) for _ in range(200)]
+        serial = Histogram()
+        for v in values:
+            serial.observe(v)
+        merged = Histogram()
+        for shard_values in (values[:50], values[50:120], values[120:]):
+            shard = Histogram()
+            for v in shard_values:
+                shard.observe(v)
+            merged.merge(shard.snapshot())
+        assert merged.counts == serial.counts
+        assert (merged.count, merged.min, merged.max) == (
+            serial.count,
+            serial.min,
+            serial.max,
+        )
+        # summation order differs across shards: equal up to float rounding
+        assert merged.total == pytest.approx(serial.total)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError, match="bucket bounds"):
+            Histogram(bounds=[1.0]).merge(Histogram(bounds=[2.0]))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[])
+
+    def test_default_bounds_cover_microseconds_to_minutes(self):
+        bounds = default_latency_bounds()
+        assert bounds == sorted(bounds)
+        assert bounds[0] <= 1e-6
+        assert bounds[-1] >= 100.0
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 2.5)
+        assert reg.counter("a") == 3.5
+        assert reg.counter("missing") == 0.0
+
+    def test_gauges_are_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("run/done", 3)
+        reg.set_gauge("run/done", 7)
+        assert reg.gauges["run/done"] == 7.0
+
+    def test_observe_creates_histogram_with_custom_bounds(self):
+        reg = MetricsRegistry()
+        reg.observe("q", 3.0, bounds=[1.0, 4.0])
+        reg.observe("q", 9.0, bounds=[999.0])  # bounds only used on creation
+        hist = reg.histogram("q")
+        assert hist.bounds == [1.0, 4.0]
+        assert hist.count == 2
+
+    def test_timer_observes_elapsed_time(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        hist = reg.histogram("t")
+        assert hist.count == 1
+        assert hist.max >= 0.0
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_sharded_merge_equals_serial(self, n_shards):
+        """The worker-merge contract: N shards fold into the serial totals."""
+        rng = random.Random(11)
+        events = [(f"c{rng.randrange(3)}", rng.uniform(0.5, 2.0)) for _ in range(120)]
+        serial = MetricsRegistry()
+        for name, amount in events:
+            serial.inc(name, amount)
+            serial.observe("lat", amount)
+        shards = [MetricsRegistry() for _ in range(n_shards)]
+        for i, (name, amount) in enumerate(events):
+            shards[i % n_shards].inc(name, amount)
+            shards[i % n_shards].observe("lat", amount)
+        parent = MetricsRegistry()
+        for shard in shards:
+            parent.merge(shard.snapshot())
+        merged_lat, serial_lat = parent.histograms["lat"], serial.histograms["lat"]
+        assert merged_lat.counts == serial_lat.counts
+        assert merged_lat.count == serial_lat.count
+        assert merged_lat.total == pytest.approx(serial_lat.total)
+        for name in serial.counters:
+            assert parent.counter(name) == pytest.approx(serial.counter(name))
+
+    def test_merge_accepts_registry_instances(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("x")
+        b.inc("x", 4)
+        assert a.merge(b).counter("x") == 5.0
+
+    def test_snapshot_is_plain_data_and_picklable(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2)
+        reg.set_gauge("g", 1)
+        reg.observe("h", 0.5)
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        clone = MetricsRegistry().merge(snap)
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_registry_itself_is_picklable(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_reset_clears_every_series(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_summary_is_sorted_and_compact(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        reg.observe("h", 2.0)
+        summary = reg.summary()
+        assert list(summary["counters"]) == ["a", "b"]
+        assert set(summary["histograms"]["h"]) == {"count", "mean", "p50", "p95", "max"}

@@ -1,0 +1,101 @@
+"""PhaseProfiler: nested span paths, registry mirroring, merging."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import PhaseProfiler
+
+
+class TestSpanNesting:
+    def test_flat_span_accumulates(self):
+        prof = PhaseProfiler()
+        with prof.span("tokenize"):
+            pass
+        with prof.span("tokenize"):
+            pass
+        report = prof.report()
+        assert report["tokenize"]["calls"] == 2
+        assert report["tokenize"]["seconds"] >= 0.0
+
+    def test_nested_spans_compose_slash_paths(self):
+        prof = PhaseProfiler()
+        with prof.span("candidate-gen"):
+            with prof.span("lm-filter"):
+                pass
+        with prof.span("lm-filter"):
+            pass
+        report = prof.report()
+        # nested LM time is distinguishable from a stand-alone LM pass
+        assert set(report) == {"candidate-gen", "candidate-gen/lm-filter", "lm-filter"}
+        assert report["candidate-gen/lm-filter"]["calls"] == 1
+        assert report["lm-filter"]["calls"] == 1
+
+    def test_outer_span_time_includes_inner(self):
+        prof = PhaseProfiler()
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+        report = prof.report()
+        assert report["outer"]["seconds"] >= report["outer/inner"]["seconds"]
+
+    def test_stack_unwinds_on_exception(self):
+        prof = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.span("outer"):
+                raise RuntimeError("boom")
+        with prof.span("after"):
+            pass
+        assert set(prof.report()) == {"outer", "after"}  # not "outer/after"
+
+    def test_report_is_sorted_by_path(self):
+        prof = PhaseProfiler()
+        for name in ("zeta", "alpha"):
+            with prof.span(name):
+                pass
+        assert list(prof.report()) == ["alpha", "zeta"]
+
+
+class TestRegistryMirror:
+    def test_spans_mirror_into_phase_counters(self):
+        reg = MetricsRegistry()
+        prof = PhaseProfiler(registry=reg)
+        with prof.span("greedy-select"):
+            with prof.span("forward"):
+                pass
+        assert reg.counter("phase/greedy-select_calls") == 1.0
+        assert reg.counter("phase/greedy-select/forward_calls") == 1.0
+        assert reg.counter("phase/greedy-select/forward_seconds") <= reg.counter(
+            "phase/greedy-select_seconds"
+        )
+
+    def test_no_registry_is_fine(self):
+        prof = PhaseProfiler(registry=None)
+        with prof.span("a"):
+            pass
+        assert prof.report()["a"]["calls"] == 1
+
+    def test_rebinding_registry_redirects_mirror(self):
+        """_init_worker rebinds the shared profiler to the worker registry."""
+        prof = PhaseProfiler(registry=MetricsRegistry())
+        worker_reg = MetricsRegistry()
+        prof.registry = worker_reg
+        with prof.span("forward"):
+            pass
+        assert worker_reg.counter("phase/forward_calls") == 1.0
+
+
+class TestMerging:
+    def test_merge_sums_calls_and_seconds(self):
+        a, b = PhaseProfiler(), PhaseProfiler()
+        for prof in (a, b):
+            with prof.span("forward"):
+                pass
+        merged = PhaseProfiler().merge(a.snapshot()).merge(b)
+        assert merged.report()["forward"]["calls"] == 2
+
+    def test_reset(self):
+        prof = PhaseProfiler()
+        with prof.span("x"):
+            pass
+        prof.reset()
+        assert prof.report() == {}
