@@ -24,7 +24,30 @@ import numpy as np
 from repro.attacks.cache import ScoreCache, score_key
 from repro.models.base import TextClassifier
 
-__all__ = ["AttackResult", "AttackFailure", "Attack", "count_word_changes"]
+__all__ = ["AttackResult", "AttackFailure", "Attack", "count_word_changes", "reseed_object"]
+
+
+def reseed_object(obj, seed: int) -> None:
+    """Reset every RNG stream reachable from ``obj`` to a function of ``seed``.
+
+    Streams are discovered by introspection, so components never hand-roll
+    reseed logic: ``np.random.Generator`` attributes are replaced with
+    ``default_rng((seed, offset))`` (``offset`` = the attribute's index in
+    the sorted attribute list, so distinct streams on one object stay
+    distinct), plain integer ``seed`` attributes are rewritten, and the
+    walk recurses into sub-:class:`Attack`\\ s and into any collaborator
+    marked ``_reseed_recurse`` (candidate sources and search strategies).
+    """
+    for offset, name in enumerate(sorted(vars(obj))):
+        value = getattr(obj, name)
+        if isinstance(value, np.random.Generator):
+            setattr(obj, name, np.random.default_rng((seed, offset)))
+        elif name == "seed" and isinstance(value, int):
+            setattr(obj, name, seed)
+        elif isinstance(value, Attack) and value is not obj:
+            value.reseed(seed)
+        elif getattr(value, "_reseed_recurse", False):
+            value.reseed(seed)
 
 
 def count_word_changes(original: Sequence[str], adversarial: Sequence[str]) -> int:
@@ -202,14 +225,7 @@ class Attack:
         attack's stages) are reseeded recursively — so new attacks get
         deterministic sharding for free.
         """
-        for offset, name in enumerate(sorted(vars(self))):
-            value = getattr(self, name)
-            if isinstance(value, np.random.Generator):
-                setattr(self, name, np.random.default_rng((seed, offset)))
-            elif name == "seed" and isinstance(value, int):
-                self.seed = seed
-            elif isinstance(value, Attack) and value is not self:
-                value.reseed(seed)
+        reseed_object(self, seed)
 
     # -- observability hooks ------------------------------------------------
     def set_profiler(self, profiler) -> None:

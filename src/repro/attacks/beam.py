@@ -8,19 +8,23 @@ model queries for a better-explored search space.  Not part of the paper's
 comparison but the standard next rung on the search-effort ladder, useful
 as an upper-reference for how much success rate the cheap methods leave on
 the table.
+
+Composition: :class:`~repro.attacks.proposals.WordParaphraseSource` ×
+:class:`~repro.attacks.search.BeamSearch`.
 """
 
 from __future__ import annotations
 
-from repro.attacks.base import Attack
+from repro.attacks.engine import AttackEngine
 from repro.attacks.paraphrase import WordParaphraser
-from repro.attacks.transformations import apply_word_substitutions
+from repro.attacks.proposals import WordParaphraseSource
+from repro.attacks.search import BeamSearch
 from repro.models.base import TextClassifier
 
 __all__ = ["BeamSearchWordAttack"]
 
 
-class BeamSearchWordAttack(Attack):
+class BeamSearchWordAttack(AttackEngine):
     """Width-B beam search over word substitutions."""
 
     name = "beam-search"
@@ -35,65 +39,24 @@ class BeamSearchWordAttack(Attack):
         use_cache: bool = True,
         cache_max_entries: int | None = None,
     ) -> None:
+        source = WordParaphraseSource(paraphraser, word_budget_ratio)
+        search = BeamSearch(tau, beam_width=beam_width)
         super().__init__(
-            model, use_cache=use_cache, cache_max_entries=cache_max_entries
+            model, source, search, use_cache=use_cache, cache_max_entries=cache_max_entries
         )
-        if not 0.0 <= word_budget_ratio <= 1.0:
-            raise ValueError("word_budget_ratio must be in [0, 1]")
-        if not 0.0 < tau <= 1.0:
-            raise ValueError("tau must be in (0, 1]")
-        if beam_width < 1:
-            raise ValueError("beam_width must be >= 1")
-        self.paraphraser = paraphraser
-        self.word_budget_ratio = word_budget_ratio
-        self.tau = tau
-        self.beam_width = beam_width
 
-    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        with self._span("candidate-gen"):
-            neighbor_sets = self.paraphraser.neighbor_sets(doc)
-        budget = int(self.word_budget_ratio * len(doc))
-        base_score = self._score(doc, target_label)
-        # beam entries: (score, substitutions dict)
-        beam: list[tuple[float, dict[int, str]]] = [(base_score, {})]
-        best_score, best_subs = base_score, {}
-        for round_index in range(budget):
-            if best_score >= self.tau:
-                break
-            candidates: list[dict[int, str]] = []
-            seen: set[tuple] = set()
-            for _, subs in beam:
-                for j in neighbor_sets.attackable_positions:
-                    if j in subs:
-                        continue
-                    for word in neighbor_sets[j]:
-                        if word == doc[j]:
-                            continue
-                        extended = {**subs, j: word}
-                        key = tuple(sorted(extended.items()))
-                        if key not in seen:
-                            seen.add(key)
-                            candidates.append(extended)
-            if not candidates:
-                break
-            docs = [apply_word_substitutions(doc, subs) for subs in candidates]
-            with self._span("greedy-select"):
-                scores = self._score_batch(docs, target_label)
-                ranked = sorted(zip(scores, candidates), key=lambda sc: -sc[0])
-            beam = [(s, c) for s, c in ranked[: self.beam_width]]
-            if beam[0][0] <= best_score + 1e-12:
-                break
-            previous_best = best_score
-            best_score, best_subs = beam[0]
-            self._trace_event(
-                "greedy_iteration",
-                stage="word",
-                iteration=round_index,
-                positions=sorted(best_subs),
-                n_candidates=len(candidates),
-                best_objective=best_score,
-                marginal_gain=best_score - previous_best,
-                rescans=0,
-            )
-        adversarial = apply_word_substitutions(doc, best_subs)
-        return adversarial, ["word"] * len(best_subs)
+    @property
+    def paraphraser(self):
+        return self.source.paraphraser
+
+    @property
+    def word_budget_ratio(self) -> float:
+        return self.source.word_budget_ratio
+
+    @property
+    def tau(self) -> float:
+        return self.search.tau
+
+    @property
+    def beam_width(self) -> int:
+        return self.search.beam_width

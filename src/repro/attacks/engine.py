@@ -1,0 +1,101 @@
+"""The attack engine: one loop owner for every source × strategy pair.
+
+:class:`AttackEngine` is the composition point of the paper's Problem 1:
+a :class:`~repro.attacks.proposals.CandidateSource` (what can change), a
+:class:`~repro.attacks.search.SearchStrategy` (how to search), and this
+engine owning everything they share — the scoring choke point
+(:meth:`Attack._score_batch`: batching, order-preserving dedup, the
+per-call :class:`~repro.attacks.cache.ScoreCache`), the query budget, the
+``n_queries`` / ``n_cache_hits`` accounting, and the TraceRecorder /
+PhaseProfiler / PerfRecorder instrumentation.  Strategies and sources
+never touch the victim directly; they call the helpers below, so every
+combination — including ones no attack class predefines, like
+char-flip × beam — gets caching, tracing and reconciliation
+(``sum(forward.n_forwards) == attack_end.n_queries == AttackResult.n_queries``)
+for free.
+
+The public attack classes (:class:`~repro.attacks.greedy_word.ObjectiveGreedyWordAttack`
+and friends) are thin subclasses that pick a source and a strategy in
+``__init__``; the declarative table in :mod:`repro.attacks.registry` maps
+names to those combinations for the CLI and experiment drivers.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.attacks.proposals import CandidateSource, Proposal
+from repro.attacks.search import SearchStrategy
+from repro.models.base import TextClassifier
+
+__all__ = ["AttackEngine"]
+
+
+class AttackEngine(Attack):
+    """Runs one :class:`SearchStrategy` over one :class:`CandidateSource`.
+
+    ``max_queries`` is an optional hard cap on model forwards per
+    document: strategies poll :meth:`out_of_queries` each round and stop
+    expanding once the cap is hit (the incumbent found so far is still
+    returned and judged).  ``None`` (default) leaves termination to τ and
+    the ``m``-constraint, exactly as before.
+    """
+
+    name = "engine"
+
+    def __init__(
+        self,
+        model: TextClassifier,
+        source: CandidateSource,
+        search: SearchStrategy,
+        *,
+        name: str | None = None,
+        use_cache: bool = True,
+        cache_max_entries: int | None = None,
+        max_queries: int | None = None,
+    ) -> None:
+        super().__init__(model, use_cache=use_cache, cache_max_entries=cache_max_entries)
+        if max_queries is not None and max_queries < 1:
+            raise ValueError("max_queries must be >= 1")
+        self.source = source
+        self.search = search
+        self.max_queries = max_queries
+        if name is not None:
+            self.name = name
+
+    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
+        return self.search.run(self, self.source, doc, target_label)
+
+    # -- helpers for sources and strategies ---------------------------------
+    def index(self, source: CandidateSource, doc: list[str]) -> Proposal:
+        """Index ``doc`` through ``source`` (candidate-gen phase)."""
+        return source.index(self, doc)
+
+    def score(self, tokens: list[str], target_label: int) -> float:
+        """``C_y`` of one document, through the scoring choke point."""
+        return self._score(tokens, target_label)
+
+    def score_batch(self, docs: list[list[str]], target_label: int) -> list[float]:
+        """``C_y`` for a batch — deduped, cached, counted, traced."""
+        return self._score_batch(docs, target_label)
+
+    def gradient(self, tokens: list[str], target_label: int):
+        """Embedding gradient of ``C_y`` — one counted, traced forward."""
+        with self._span("forward"):
+            gradient = self.model.embedding_gradient(tokens, target_label)
+        self._queries += 1  # gradient pass = one forward scoring
+        self._trace_event(
+            "forward", op="gradient", n_docs=1, n_forwards=1, n_cache_hits=0
+        )
+        return gradient
+
+    def span(self, phase: str):
+        """Profiler span for a named phase (no-op without a profiler)."""
+        return self._span(phase)
+
+    def trace_iteration(self, **fields) -> None:
+        """Emit one ``greedy_iteration`` trace event."""
+        self._trace_event("greedy_iteration", **fields)
+
+    def out_of_queries(self) -> bool:
+        """True once the per-document query budget is exhausted."""
+        return self.max_queries is not None and self._queries >= self.max_queries

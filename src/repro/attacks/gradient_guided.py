@@ -16,25 +16,24 @@ that one-word-at-a-time greedy misses, while the gradient preselection
 keeps the search space small — the efficiency/effectiveness combination
 Table 3 quantifies.
 
-Because ``|M| = Π (1 + |W_j|)`` grows exponentially in ``N``, the set is
-beam-limited to ``max_candidates`` members (candidate lists per position are
-also capped) — the paper's settings stay well under the default limit for
-typical filtered neighbor sets.
+Composition: :class:`~repro.attacks.proposals.GradientRankedSource`
+(position selection + candidate ordering) ×
+:class:`~repro.attacks.search.GaussSouthwellSearch` (joint product,
+backward pruning, skip-fallback).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.attacks.base import Attack
+from repro.attacks.engine import AttackEngine
 from repro.attacks.paraphrase import WordParaphraser
-from repro.attacks.transformations import apply_word_substitutions
+from repro.attacks.proposals import GradientRankedSource, WordParaphraseSource
+from repro.attacks.search import GaussSouthwellSearch
 from repro.models.base import TextClassifier
 
 __all__ = ["GradientGuidedGreedyAttack"]
 
 
-class GradientGuidedGreedyAttack(Attack):
+class GradientGuidedGreedyAttack(AttackEngine):
     """Algorithm 3: Gauss–Southwell selection + joint candidate search."""
 
     name = "gradient-guided-greedy"
@@ -53,165 +52,56 @@ class GradientGuidedGreedyAttack(Attack):
         use_cache: bool = True,
         cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(
-            model, use_cache=use_cache, cache_max_entries=cache_max_entries
+        source = GradientRankedSource(
+            WordParaphraseSource(paraphraser, word_budget_ratio), selection=selection
         )
-        if not 0.0 <= word_budget_ratio <= 1.0:
-            raise ValueError("word_budget_ratio must be in [0, 1]")
-        if not 0.0 < tau <= 1.0:
-            raise ValueError("tau must be in (0, 1]")
-        if words_per_iteration < 1:
-            raise ValueError("words_per_iteration must be >= 1")
-        if selection not in ("modular", "gs_norm", "random"):
-            raise ValueError("selection must be 'modular', 'gs_norm' or 'random'")
-        self.paraphraser = paraphraser
-        self.word_budget_ratio = word_budget_ratio
-        self.tau = tau
-        self.words_per_iteration = words_per_iteration
-        self.max_candidates = max_candidates
-        self.per_position_cap = per_position_cap
-        self.max_iterations = max_iterations
-        self.selection = selection
-        self._selection_rng = np.random.default_rng(0)
-        self._candidate_order: dict[int, list[str]] = {}
+        search = GaussSouthwellSearch(
+            tau,
+            words_per_iteration=words_per_iteration,
+            max_candidates=max_candidates,
+            per_position_cap=per_position_cap,
+            max_iterations=max_iterations,
+        )
+        super().__init__(
+            model, source, search, use_cache=use_cache, cache_max_entries=cache_max_entries
+        )
 
-    def _select_positions(
-        self,
-        current: list[str],
-        target_label: int,
-        neighbor_sets,
-        changed: set[int],
-        remaining_budget: int,
-        skip: int = 0,
-    ) -> list[int]:
-        """N attackable positions by embedding-gradient norm, after ``skip``.
+    # public config, mirrored from the composed layers
+    @property
+    def paraphraser(self):
+        return self.source.inner.paraphraser
 
-        ``skip`` implements the fallback: when the top-N batch produced no
-        improvement, the caller retries with the next batch down the
-        gradient ranking instead of giving up (positions the greedy scan
-        would eventually reach anyway).
+    @property
+    def word_budget_ratio(self) -> float:
+        return self.source.inner.word_budget_ratio
 
-        Three selection rules (ablated in the benchmarks):
+    @property
+    def tau(self) -> float:
+        return self.search.tau
 
-        - ``"modular"`` (default): the Proposition-2 weight
-          ``w_i = max_t (V(x_i^{(t)}) − V(x_i)) · ∇_i`` — the first-order
-          estimate of the gain *realizable by the actual candidates*;
-        - ``"gs_norm"``: the raw Gauss–Southwell score ``‖∇_i C_y‖₂`` as
-          written in Alg. 3 step 4, which measures sensitivity in *any*
-          direction, including ones no candidate realizes;
-        - ``"random"``: uniformly random positions (the no-gradient
-          control from the Gauss–Southwell literature).
-        """
-        n = min(len(current), self.model.max_len)
-        self._candidate_order = {}
-        if self.selection == "random":
-            scores = self._selection_rng.random(n)
-        else:
-            with self._span("forward"):
-                gradient = self.model.embedding_gradient(current, target_label)
-            self._queries += 1
-            self._trace_event(
-                "forward", op="gradient", n_docs=1, n_forwards=1, n_cache_hits=0
-            )
-            if self.selection == "gs_norm":
-                scores = np.linalg.norm(gradient, axis=1)
-            else:  # modular
-                emb = self.model.embedding.weight.data
-                vocab = self.model.vocab
-                scores = np.zeros(n)
-                for i in range(n):
-                    orig = emb[vocab.id(current[i])]
-                    gains = [
-                        (float((emb[vocab.id(cand)] - orig) @ gradient[i]), cand)
-                        for cand in neighbor_sets[i]
-                    ]
-                    if gains:
-                        gains.sort(key=lambda gc: -gc[0])
-                        scores[i] = max(0.0, gains[0][0])
-                        # candidates ranked by estimated gain keep the joint
-                        # product small without losing the best moves
-                        self._candidate_order[i] = [c for _, c in gains]
-        attackable = [i for i in neighbor_sets.attackable_positions if i < len(scores)]
-        # Unchanged positions consume budget; already-changed positions may be
-        # re-paraphrased for free. Prefer high-gradient positions either way.
-        ranked = sorted(attackable, key=lambda i: -scores[i])[skip:]
-        selected: list[int] = []
-        budget_left = remaining_budget - len(changed)
-        for i in ranked:
-            if len(selected) >= self.words_per_iteration:
-                break
-            if i in changed:
-                selected.append(i)
-            elif budget_left > 0:
-                selected.append(i)
-                budget_left -= 1
-        return selected
+    @property
+    def words_per_iteration(self) -> int:
+        return self.search.words_per_iteration
 
-    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        with self._span("candidate-gen"):
-            neighbor_sets = self.paraphraser.neighbor_sets(doc)
-        budget = int(self.word_budget_ratio * len(doc))
-        current = list(doc)
-        current_score = self._score(current, target_label)
-        changed: set[int] = set()
-        stages: list[str] = []
-        skip = 0
-        for _ in range(self.max_iterations):
-            if current_score >= self.tau or len(changed) >= budget:
-                break
-            selected = self._select_positions(
-                current, target_label, neighbor_sets, changed, budget, skip=skip
-            )
-            if not selected:
-                break
-            # steps 7-15: joint candidate product over the selected positions
-            frontier: list[dict[int, str]] = [{}]
-            for j in selected:
-                ordered = self._candidate_order.get(j, neighbor_sets[j])
-                extensions: list[dict[int, str]] = []
-                for partial in frontier:
-                    for word in ordered[: self.per_position_cap]:
-                        if word == current[j]:
-                            continue
-                        extensions.append({**partial, j: word})
-                        if len(frontier) + len(extensions) >= self.max_candidates:
-                            break
-                    if len(frontier) + len(extensions) >= self.max_candidates:
-                        break
-                frontier = frontier + extensions
-            frontier = [f for f in frontier if f]
-            if not frontier:
-                break
-            candidates = [apply_word_substitutions(current, subs) for subs in frontier]
-            with self._span("greedy-select"):
-                scores = self._score_batch(candidates, target_label)
-                best = max(range(len(scores)), key=scores.__getitem__)
-            if scores[best] <= current_score + 1e-12:
-                # This batch of positions cannot improve; fall back to the
-                # next batch down the gradient ranking.
-                skip += self.words_per_iteration
-                continue
-            skip = 0
-            subs = self._prune(frontier[best], current, scores[best], target_label)
-            self._trace_event(
-                "greedy_iteration",
-                stage="word",
-                iteration=len(stages),
-                positions=sorted(subs),
-                n_candidates=len(candidates),
-                best_objective=scores[best],
-                marginal_gain=scores[best] - current_score,
-                rescans=0,
-            )
-            current = apply_word_substitutions(current, subs)
-            current_score = scores[best]
-            for pos in subs:
-                if current[pos] != doc[pos]:
-                    changed.add(pos)
-                else:
-                    changed.discard(pos)
-            stages.extend(["word"] * len(subs))
-        return current, stages
+    @property
+    def max_candidates(self) -> int:
+        return self.search.max_candidates
+
+    @property
+    def per_position_cap(self) -> int:
+        return self.search.per_position_cap
+
+    @property
+    def max_iterations(self) -> int:
+        return self.search.max_iterations
+
+    @property
+    def selection(self) -> str:
+        return self.source.selection
+
+    @property
+    def _selection_rng(self):
+        return self.source._selection_rng
 
     def _prune(
         self,
@@ -220,26 +110,5 @@ class GradientGuidedGreedyAttack(Attack):
         best_score: float,
         target_label: int,
     ) -> dict[int, str]:
-        """Backward pruning: drop substitutions that don't pay their way.
-
-        The joint candidate search can include replacements contributing
-        only epsilon to the combined score; each such replacement still
-        consumes a unit of the distinct-word budget.  Removing each
-        substitution in turn and keeping the removal whenever the score
-        does not drop refunds that budget at a cost of |combo| extra
-        queries.
-        """
-        if len(substitutions) <= 1:
-            return substitutions
-        kept = dict(substitutions)
-        for pos in sorted(substitutions):
-            if len(kept) == 1:
-                break
-            trial = {p: w for p, w in kept.items() if p != pos}
-            score = self._score_batch(
-                [apply_word_substitutions(current, trial)], target_label
-            )[0]
-            if score >= best_score - 1e-12:
-                kept = trial
-                best_score = score
-        return kept
+        """Backward pruning (see :meth:`GaussSouthwellSearch.prune`)."""
+        return self.search.prune(self, substitutions, current, best_score, target_label)

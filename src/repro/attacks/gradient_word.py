@@ -6,22 +6,23 @@ form: linearize ``C_y`` at the current embeddings, score every candidate by
 replacements in one shot.  Fast (one gradient + one re-scoring pass) but
 weak: the linearization ignores that synonym embeddings are not
 infinitesimally close (paper Sec. 4.1, Table 3).
+
+Composition: :class:`~repro.attacks.proposals.WordParaphraseSource` ×
+:class:`~repro.attacks.search.FirstOrderSearch`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.attacks.base import Attack
+from repro.attacks.engine import AttackEngine
 from repro.attacks.paraphrase import WordParaphraser
-from repro.attacks.transformations import apply_word_substitutions
+from repro.attacks.proposals import WordParaphraseSource
+from repro.attacks.search import FirstOrderSearch
 from repro.models.base import TextClassifier
-from repro.submodular.modular import modular_relaxation_word2vec
 
 __all__ = ["GradientWordAttack"]
 
 
-class GradientWordAttack(Attack):
+class GradientWordAttack(AttackEngine):
     """One-shot first-order (Frank-Wolfe style) word substitution."""
 
     name = "gradient"
@@ -33,51 +34,17 @@ class GradientWordAttack(Attack):
         word_budget_ratio: float = 0.2,
         iterations: int = 1,
     ) -> None:
-        super().__init__(model)
-        if not 0.0 <= word_budget_ratio <= 1.0:
-            raise ValueError("word_budget_ratio must be in [0, 1]")
-        if iterations < 1:
-            raise ValueError("iterations must be >= 1")
-        self.paraphraser = paraphraser
-        self.word_budget_ratio = word_budget_ratio
-        self.iterations = iterations
+        source = WordParaphraseSource(paraphraser, word_budget_ratio)
+        super().__init__(model, source, FirstOrderSearch(iterations))
 
-    def _embedding_of(self, word: str) -> np.ndarray:
-        return self.model.embedding.weight.data[self.model.vocab.id(word)]
+    @property
+    def paraphraser(self):
+        return self.source.paraphraser
 
-    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        neighbor_sets = self.paraphraser.neighbor_sets(doc)
-        budget = int(self.word_budget_ratio * len(doc))
-        current = list(doc)
-        changed: set[int] = set()
-        stages: list[str] = []
-        for _ in range(self.iterations):
-            remaining = budget - len(changed)
-            if remaining <= 0:
-                break
-            # gradient is only defined over the model's window
-            n = min(len(current), self.model.max_len)
-            gradient = self.model.embedding_gradient(current, target_label)
-            self._queries += 1  # gradient pass = one forward scoring
-            original_vectors = np.stack([self._embedding_of(w) for w in current[:n]])
-            candidate_vectors = [
-                [self._embedding_of(c) for c in neighbor_sets[i]] for i in range(n)
-            ]
-            relaxation = modular_relaxation_word2vec(
-                original_vectors, candidate_vectors, gradient
-            )
-            # never re-count already-changed positions against the budget
-            weights = relaxation.weights.copy()
-            weights[[i for i in range(n) if i in changed]] = 0.0
-            order = np.argsort(-weights)
-            substitutions: dict[int, str] = {}
-            for i in order[:remaining]:
-                if weights[i] <= 0:
-                    break
-                substitutions[int(i)] = neighbor_sets[int(i)][relaxation.best_choice[i] - 1]
-            if not substitutions:
-                break
-            current = apply_word_substitutions(current, substitutions)
-            changed.update(substitutions)
-            stages.extend(["word"] * len(substitutions))
-        return current, stages
+    @property
+    def word_budget_ratio(self) -> float:
+        return self.source.word_budget_ratio
+
+    @property
+    def iterations(self) -> int:
+        return self.search.iterations

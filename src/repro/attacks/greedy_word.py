@@ -7,31 +7,24 @@ exhausted.  This is exactly greedy maximization of the attack set function
 with the inner maximum restricted to extending the incumbent transformation
 (the practical variant the paper compares against in Table 3).
 
-Two search strategies:
-
-- ``"scan"`` (default): the textbook full rescan every round;
-- ``"lazy"``: CELF/Minoux lazy greedy via
-  :class:`~repro.submodular.greedy.LazyMarginalHeap`.  The first round
-  scores every pair in one batch (identical to scan); later rounds
-  re-evaluate only candidates whose stale upper bound reaches the top of
-  the heap.  Exact when the attack objective is submodular (the regime of
-  Thms. 1-2, which ``submodular.empirical`` verifies on these victims);
-  in general a fast approximation of scan with the same budget/τ
-  semantics.
+Composition: :class:`~repro.attacks.proposals.WordParaphraseSource` ×
+:class:`~repro.attacks.search.GreedySearch` (``strategy="scan"``) or
+:class:`~repro.attacks.search.LazyGreedySearch` (``strategy="lazy"``,
+CELF/Minoux via :class:`~repro.submodular.greedy.LazyMarginalHeap`).
 """
 
 from __future__ import annotations
 
-from repro.attacks.base import Attack
+from repro.attacks.engine import AttackEngine
 from repro.attacks.paraphrase import WordParaphraser
-from repro.attacks.transformations import apply_word_substitutions
+from repro.attacks.proposals import WordParaphraseSource
+from repro.attacks.search import GreedySearch, LazyGreedySearch
 from repro.models.base import TextClassifier
-from repro.submodular.greedy import LazyMarginalHeap
 
 __all__ = ["ObjectiveGreedyWordAttack"]
 
 
-class ObjectiveGreedyWordAttack(Attack):
+class ObjectiveGreedyWordAttack(AttackEngine):
     """Greedy-by-objective word substitution (one word per iteration)."""
 
     name = "objective-greedy"
@@ -46,136 +39,24 @@ class ObjectiveGreedyWordAttack(Attack):
         use_cache: bool = True,
         cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(
-            model, use_cache=use_cache, cache_max_entries=cache_max_entries
-        )
-        if not 0.0 <= word_budget_ratio <= 1.0:
-            raise ValueError("word_budget_ratio must be in [0, 1]")
-        if not 0.0 < tau <= 1.0:
-            raise ValueError("tau must be in (0, 1]")
         if strategy not in ("scan", "lazy"):
             raise ValueError("strategy must be 'scan' or 'lazy'")
-        self.paraphraser = paraphraser
-        self.word_budget_ratio = word_budget_ratio
-        self.tau = tau
+        source = WordParaphraseSource(paraphraser, word_budget_ratio)
+        search = GreedySearch(tau) if strategy == "scan" else LazyGreedySearch(tau)
+        super().__init__(
+            model, source, search, use_cache=use_cache, cache_max_entries=cache_max_entries
+        )
         self.strategy = strategy
 
-    def _pairs(self, current: list[str], neighbor_sets, changed: set[int]):
-        """All admissible (position, word) moves from the incumbent."""
-        for j in neighbor_sets.attackable_positions:
-            if j in changed:
-                continue
-            for word in neighbor_sets[j]:
-                if current[j] != word:
-                    yield j, word
+    # public config, mirrored from the composed layers
+    @property
+    def paraphraser(self):
+        return self.source.paraphraser
 
-    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        if self.strategy == "lazy":
-            return self._run_lazy(doc, target_label)
-        with self._span("candidate-gen"):
-            neighbor_sets = self.paraphraser.neighbor_sets(doc)
-        budget = int(self.word_budget_ratio * len(doc))
-        current = list(doc)
-        current_score = self._score(current, target_label)
-        changed: set[int] = set()
-        stages: list[str] = []
-        while current_score < self.tau and len(changed) < budget:
-            # one paraphrase per position: changed positions are consumed
-            pairs = list(self._pairs(current, neighbor_sets, changed))
-            if not pairs:
-                break
-            candidates = [
-                apply_word_substitutions(current, {j: word}) for j, word in pairs
-            ]
-            with self._span("greedy-select"):
-                scores = self._score_batch(candidates, target_label)
-                best = max(range(len(scores)), key=scores.__getitem__)
-            if scores[best] <= current_score + 1e-12:
-                break
-            self._trace_event(
-                "greedy_iteration",
-                stage="word",
-                iteration=len(stages),
-                positions=[pairs[best][0]],
-                n_candidates=len(candidates),
-                best_objective=scores[best],
-                marginal_gain=scores[best] - current_score,
-                rescans=0,
-            )
-            current = candidates[best]
-            current_score = scores[best]
-            changed.add(pairs[best][0])
-            stages.append("word")
-        return current, stages
+    @property
+    def word_budget_ratio(self) -> float:
+        return self.source.word_budget_ratio
 
-    def _run_lazy(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        """CELF variant: stale-bound heap instead of full rescans."""
-        with self._span("candidate-gen"):
-            neighbor_sets = self.paraphraser.neighbor_sets(doc)
-        budget = int(self.word_budget_ratio * len(doc))
-        current = list(doc)
-        current_score = self._score(current, target_label)
-        changed: set[int] = set()
-        stages: list[str] = []
-        if budget == 0 or current_score >= self.tau:
-            return current, stages
-        def rebuild_heap() -> LazyMarginalHeap | None:
-            """Exact gains for every admissible pair, in one batched scan."""
-            pairs = list(self._pairs(current, neighbor_sets, changed))
-            if not pairs:
-                return None
-            scores = self._score_batch(
-                [apply_word_substitutions(current, {j: word}) for j, word in pairs],
-                target_label,
-            )
-            heap = LazyMarginalHeap()
-            heap.push_all(
-                (pair, score - current_score) for pair, score in zip(pairs, scores)
-            )
-            return heap
-
-        # round 1 = scan: seed the heap with exact gains from one batch
-        heap = rebuild_heap()
-        fresh_heap = True
-        while heap is not None and current_score < self.tau and len(changed) < budget:
-            rescans = 0
-
-            def fresh_gain(pair: tuple[int, str]) -> float | None:
-                nonlocal rescans
-                rescans += 1
-                j, word = pair
-                if j in changed or current[j] == word:
-                    return None  # position consumed
-                candidate = apply_word_substitutions(current, {j: word})
-                return self._score_batch([candidate], target_label)[0] - current_score
-
-            with self._span("greedy-select"):
-                n_candidates = len(heap)
-                picked = heap.select(fresh_gain, tolerance=1e-12)
-            if picked is None:
-                # Stale bounds say nothing improves.  They are only upper
-                # bounds under submodularity, which holds empirically but
-                # not exactly — so verify with one batched rescan of the
-                # incumbent before giving up.
-                if fresh_heap:
-                    break
-                heap = rebuild_heap()
-                fresh_heap = True
-                continue
-            (j, word), gain = picked
-            current = apply_word_substitutions(current, {j: word})
-            current_score += gain
-            self._trace_event(
-                "greedy_iteration",
-                stage="word",
-                iteration=len(stages),
-                positions=[j],
-                n_candidates=n_candidates,
-                best_objective=current_score,
-                marginal_gain=gain,
-                rescans=rescans,
-            )
-            changed.add(j)
-            stages.append("word")
-            fresh_heap = False
-        return current, stages
+    @property
+    def tau(self) -> float:
+        return self.search.tau

@@ -11,27 +11,39 @@ Paraphrasing (Alg. 3) on the sentence-paraphrased document.
 This is the headline attack used for Table 2, Figure 4, Table 4 and the
 adversarial training of Table 5.
 
-Both stages score through the *same* per-call :class:`ScoreCache`, so the
-sentence-stage winner is never re-paid when the word stage starts, and the
-word stage's pruning subsets hit the scores the joint search already paid
-for.  ``word_attack="objective-greedy"`` swaps Alg. 3 for the greedy
-baseline word stage (with optional CELF ``strategy="lazy"``) — the
-configuration the inference-perf benchmark uses.
+Composition: :class:`~repro.attacks.search.StagedSearch` over
+(sentence-paraphrase × greedy) then (word × Alg. 3 or greedy).  Both
+stages run on the *same* engine, so they share one per-call
+:class:`~repro.attacks.cache.ScoreCache` — the sentence-stage winner is
+never re-paid when the word stage starts, and the word stage's pruning
+subsets hit the scores the joint search already paid for.
+``word_attack="objective-greedy"`` swaps Alg. 3 for the greedy baseline
+word stage (with optional CELF ``strategy="lazy"``) — the configuration
+the inference-perf benchmark uses.
 """
 
 from __future__ import annotations
 
-from repro.attacks.base import Attack
-from repro.attacks.gradient_guided import GradientGuidedGreedyAttack
-from repro.attacks.greedy_word import ObjectiveGreedyWordAttack
+from repro.attacks.engine import AttackEngine
 from repro.attacks.paraphrase import SentenceParaphraser, WordParaphraser
-from repro.attacks.sentence import GreedySentenceAttack
+from repro.attacks.proposals import (
+    GradientRankedSource,
+    SentenceParaphraseSource,
+    WordParaphraseSource,
+)
+from repro.attacks.search import (
+    GaussSouthwellSearch,
+    GreedySearch,
+    LazyGreedySearch,
+    SearchStrategy,
+    StagedSearch,
+)
 from repro.models.base import TextClassifier
 
 __all__ = ["JointParaphraseAttack"]
 
 
-class JointParaphraseAttack(Attack):
+class JointParaphraseAttack(AttackEngine):
     """Algorithm 1: sentence stage then word stage."""
 
     name = "joint-paraphrase"
@@ -50,69 +62,38 @@ class JointParaphraseAttack(Attack):
         use_cache: bool = True,
         cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(
-            model, use_cache=use_cache, cache_max_entries=cache_max_entries
-        )
         if word_attack not in ("gradient-guided", "objective-greedy"):
             raise ValueError("word_attack must be 'gradient-guided' or 'objective-greedy'")
-        self.sentence_stage = GreedySentenceAttack(
-            model,
-            sentence_paraphraser,
-            sentence_budget_ratio=sentence_budget_ratio,
-            tau=tau,
-            strategy=strategy,
-            use_cache=use_cache,
+        if strategy not in ("scan", "lazy"):
+            raise ValueError("strategy must be 'scan' or 'lazy'")
+        sentence_source = SentenceParaphraseSource(
+            sentence_paraphraser, sentence_budget_ratio
         )
+        sentence_search = GreedySearch(tau) if strategy == "scan" else LazyGreedySearch(tau)
+        word_source = WordParaphraseSource(word_paraphraser, word_budget_ratio)
         if word_attack == "gradient-guided":
-            self.word_stage: Attack = GradientGuidedGreedyAttack(
-                model,
-                word_paraphraser,
-                word_budget_ratio=word_budget_ratio,
-                tau=tau,
-                words_per_iteration=words_per_iteration,
-                use_cache=use_cache,
+            word_stage = (
+                GradientRankedSource(word_source),
+                GaussSouthwellSearch(tau, words_per_iteration=words_per_iteration),
             )
         else:
-            self.word_stage = ObjectiveGreedyWordAttack(
-                model,
-                word_paraphraser,
-                word_budget_ratio=word_budget_ratio,
-                tau=tau,
-                strategy=strategy,
-                use_cache=use_cache,
+            word_stage = (
+                word_source,
+                GreedySearch(tau) if strategy == "scan" else LazyGreedySearch(tau),
             )
-        self.tau = tau
-
-    def _run_stage(self, stage: Attack, doc: list[str], target_label: int):
-        """Run a sub-attack's search under this attack's query accounting.
-
-        The shared :class:`ScoreCache` is handed down so scores paid in one
-        stage are hits in the next, and the per-document trace is handed
-        down so stage events land in the same file (the ``stage`` field on
-        ``greedy_iteration`` events tells them apart).
-        """
-        stage._queries = 0
-        stage._cache_hits = 0
-        stage._cache = self._cache
-        stage._trace = self._trace
-        try:
-            return stage._run(doc, target_label)
-        finally:
-            self._queries += stage._queries
-            self._cache_hits += stage._cache_hits
-            stage._cache = None
-            stage._trace = None
-
-    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        # Stage 1: sentence paraphrasing (Alg. 2)
-        after_sentences, sentence_stages = self._run_stage(
-            self.sentence_stage, doc, target_label
+        search: SearchStrategy = StagedSearch(
+            [(sentence_source, sentence_search), word_stage], tau=tau
         )
-        score = self._score(after_sentences, target_label)
-        if score >= self.tau:
-            return after_sentences, sentence_stages
-        # Stage 2: word paraphrasing (Alg. 3) on the sentence-level output
-        adversarial, word_stages = self._run_stage(
-            self.word_stage, after_sentences, target_label
+        super().__init__(
+            model,
+            sentence_source,
+            search,
+            use_cache=use_cache,
+            cache_max_entries=cache_max_entries,
         )
-        return adversarial, sentence_stages + word_stages
+        self.word_attack = word_attack
+        self.strategy = strategy
+
+    @property
+    def tau(self) -> float:
+        return self.search.tau

@@ -3,21 +3,23 @@
 Replaces up to ``λ_w · n`` random attackable positions with random
 candidates.  The weakest sensible baseline; its gap to greedy quantifies
 how much the guided search matters (ablation benchmark).
+
+Composition: :class:`~repro.attacks.proposals.WordParaphraseSource` ×
+:class:`~repro.attacks.search.RandomSearch`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.attacks.base import Attack
+from repro.attacks.engine import AttackEngine
 from repro.attacks.paraphrase import WordParaphraser
-from repro.attacks.transformations import apply_word_substitutions
+from repro.attacks.proposals import WordParaphraseSource
+from repro.attacks.search import RandomSearch
 from repro.models.base import TextClassifier
 
 __all__ = ["RandomWordAttack"]
 
 
-class RandomWordAttack(Attack):
+class RandomWordAttack(AttackEngine):
     """Uniformly random word substitutions within the budget."""
 
     name = "random"
@@ -29,23 +31,21 @@ class RandomWordAttack(Attack):
         word_budget_ratio: float = 0.2,
         seed: int = 0,
     ) -> None:
-        super().__init__(model)
-        if not 0.0 <= word_budget_ratio <= 1.0:
-            raise ValueError("word_budget_ratio must be in [0, 1]")
-        self.paraphraser = paraphraser
-        self.word_budget_ratio = word_budget_ratio
-        self.seed = seed
+        source = WordParaphraseSource(paraphraser, word_budget_ratio)
+        super().__init__(model, source, RandomSearch(seed))
 
-    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        neighbor_sets = self.paraphraser.neighbor_sets(doc)
-        budget = int(self.word_budget_ratio * len(doc))
-        rng = np.random.default_rng(self.seed)
-        positions = neighbor_sets.attackable_positions
-        if not positions or budget == 0:
-            return list(doc), []
-        chosen = rng.choice(positions, size=min(budget, len(positions)), replace=False)
-        substitutions = {
-            int(i): str(rng.choice(neighbor_sets[int(i)])) for i in chosen
-        }
-        stages = ["word"] * len(substitutions)
-        return apply_word_substitutions(doc, substitutions), stages
+    @property
+    def paraphraser(self):
+        return self.source.paraphraser
+
+    @property
+    def word_budget_ratio(self) -> float:
+        return self.source.word_budget_ratio
+
+    @property
+    def seed(self) -> int:
+        return self.search.seed
+
+    @seed.setter
+    def seed(self, value: int) -> None:
+        self.search.seed = value

@@ -1,0 +1,575 @@
+"""Search strategies — the "how to search" axis of Problem 1.
+
+Each strategy maximizes the attack objective ``C_y`` over transformations
+drawn from a :class:`~repro.attacks.proposals.Proposal`, under the
+proposal's ``m``-constraint and the engine's τ / query-budget termination.
+Strategies are model-agnostic: every forward goes through the engine's
+scoring choke point (:meth:`~repro.attacks.engine.AttackEngine.score_batch`)
+and every gradient through :meth:`~repro.attacks.engine.AttackEngine.gradient`,
+so caching, query accounting, spans and trace events are uniform across
+all source × strategy combinations.
+
+The greedy variants delegate stale-bound bookkeeping to
+:class:`repro.submodular.greedy.LazyMarginalHeap` — the same CELF/Minoux
+machinery the set-function layer uses — instead of duplicating it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.attacks.base import reseed_object
+from repro.submodular.greedy import LazyMarginalHeap
+from repro.submodular.modular import modular_relaxation_word2vec
+from repro.text.transformations import apply_word_substitutions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.attacks.engine import AttackEngine
+    from repro.attacks.proposals import CandidateSource
+
+__all__ = [
+    "SearchStrategy",
+    "GreedySearch",
+    "LazyGreedySearch",
+    "BeamSearch",
+    "RandomSearch",
+    "FirstOrderSearch",
+    "GaussSouthwellSearch",
+    "StagedSearch",
+]
+
+
+def _validate_tau(tau: float) -> float:
+    if not 0.0 < tau <= 1.0:
+        raise ValueError("tau must be in (0, 1]")
+    return tau
+
+
+class SearchStrategy:
+    """Maximizes ``C_y`` over one proposal's transformation space.
+
+    ``run`` returns ``(adversarial tokens, stage tags)`` — exactly what
+    :meth:`Attack._run` contracts to produce.  Strategies are picklable
+    (plain attributes only) and carry the ``_reseed_recurse`` marker so
+    per-document reseeding reaches any RNG streams they own.
+    """
+
+    kind = "search"
+    _reseed_recurse = True
+
+    def run(
+        self,
+        engine: "AttackEngine",
+        source: "CandidateSource",
+        doc: list[str],
+        target_label: int,
+    ) -> tuple[list[str], list[str]]:
+        raise NotImplementedError
+
+    def reseed(self, seed: int) -> None:
+        reseed_object(self, seed)
+
+
+class GreedySearch(SearchStrategy):
+    """Exhaustive greedy: full rescan of admissible moves every round.
+
+    One unit per iteration — apply the single move that most increases
+    ``C_y``, repeat until τ, budget exhaustion, or no improving move.
+    Greedy maximization of the attack set function with the inner maximum
+    restricted to extending the incumbent (Alg. 2 for sentences; the
+    Kuleshov [19] baseline for words).
+    """
+
+    kind = "greedy"
+
+    def __init__(self, tau: float = 0.7) -> None:
+        self.tau = _validate_tau(tau)
+
+    def run(self, engine, source, doc, target_label):
+        proposal = engine.index(source, doc)
+        state = proposal.initial_state()
+        score = engine.score(proposal.tokens(state), target_label)
+        support: set[int] = set()
+        stages: list[str] = []
+        while (
+            score < self.tau
+            and len(support) < proposal.budget
+            and not engine.out_of_queries()
+        ):
+            moves = proposal.admissible_moves(state, support)
+            if not moves:
+                break
+            states = [proposal.apply(state, j, move) for j, move in moves]
+            candidates = [proposal.tokens(s) for s in states]
+            with engine.span("greedy-select"):
+                scores = engine.score_batch(candidates, target_label)
+                best = max(range(len(scores)), key=scores.__getitem__)
+            if scores[best] <= score + 1e-12:
+                break
+            j = moves[best][0]
+            engine.trace_iteration(
+                stage=proposal.stage,
+                iteration=len(stages),
+                positions=[j],
+                n_candidates=len(candidates),
+                best_objective=scores[best],
+                marginal_gain=scores[best] - score,
+                rescans=0,
+            )
+            state = states[best]
+            score = scores[best]
+            proposal.update_support(support, state, j)
+            stages.append(proposal.stage)
+        return proposal.tokens(state), stages
+
+
+class LazyGreedySearch(SearchStrategy):
+    """CELF/Minoux lazy greedy via :class:`LazyMarginalHeap`.
+
+    The first round scores every admissible move in one batch (identical
+    to :class:`GreedySearch`); later rounds re-evaluate only moves whose
+    stale upper bound reaches the top of the heap.  Exact when the attack
+    objective is submodular (the regime of Thms. 1-2, which
+    ``submodular.empirical`` verifies on these victims); in general a fast
+    approximation of the full rescan with the same budget/τ semantics.
+    Stale bounds are only upper bounds under submodularity, so an
+    apparently exhausted heap is confirmed with one batched rescan before
+    terminating.
+    """
+
+    kind = "lazy-greedy"
+
+    def __init__(self, tau: float = 0.7) -> None:
+        self.tau = _validate_tau(tau)
+
+    def run(self, engine, source, doc, target_label):
+        proposal = engine.index(source, doc)
+        state = proposal.initial_state()
+        score = engine.score(proposal.tokens(state), target_label)
+        support: set[int] = set()
+        stages: list[str] = []
+        if proposal.budget == 0 or score >= self.tau:
+            return proposal.tokens(state), stages
+        # moves are indexed, not hashed by content (sentence moves are lists)
+        moves = [(j, move) for j in proposal.positions() for move in proposal.moves_at(j)]
+
+        def rebuild_heap() -> LazyMarginalHeap | None:
+            """Exact gains for every admissible move, in one batched scan."""
+            admissible = [
+                i
+                for i, (j, move) in enumerate(moves)
+                if not (proposal.consumes_positions and j in support)
+                and move != proposal.unit(state, j)
+            ]
+            if not admissible:
+                return None
+            scores = engine.score_batch(
+                [
+                    proposal.tokens(proposal.apply(state, moves[i][0], moves[i][1]))
+                    for i in admissible
+                ],
+                target_label,
+            )
+            heap = LazyMarginalHeap()
+            heap.push_all((i, s - score) for i, s in zip(admissible, scores))
+            return heap
+
+        # round 1 = scan: seed the heap with exact gains from one batch
+        heap = rebuild_heap()
+        fresh_heap = True
+        while (
+            heap is not None
+            and score < self.tau
+            and len(support) < proposal.budget
+            and not engine.out_of_queries()
+        ):
+            rescans = 0
+
+            def fresh_gain(idx: int) -> float | None:
+                nonlocal rescans
+                rescans += 1
+                j, move = moves[idx]
+                if (proposal.consumes_positions and j in support) or move == proposal.unit(
+                    state, j
+                ):
+                    return None  # position consumed / move already applied
+                candidate = proposal.tokens(proposal.apply(state, j, move))
+                return engine.score_batch([candidate], target_label)[0] - score
+
+            with engine.span("greedy-select"):
+                n_candidates = len(heap)
+                picked = heap.select(fresh_gain, tolerance=1e-12)
+            if picked is None:
+                # stale bounds are exact only under submodularity: confirm
+                # exhaustion with one batched rescan before terminating
+                if fresh_heap:
+                    break
+                heap = rebuild_heap()
+                fresh_heap = True
+                continue
+            idx, gain = picked
+            j, move = moves[idx]
+            state = proposal.apply(state, j, move)
+            score += gain
+            engine.trace_iteration(
+                stage=proposal.stage,
+                iteration=len(stages),
+                positions=[j],
+                n_candidates=n_candidates,
+                best_objective=score,
+                marginal_gain=gain,
+                rescans=rescans,
+            )
+            proposal.update_support(support, state, j)
+            stages.append(proposal.stage)
+            fresh_heap = False
+        return proposal.tokens(state), stages
+
+
+class BeamSearch(SearchStrategy):
+    """Width-B beam over substitution sets.
+
+    Greedy keeps a single incumbent; beam search keeps the ``beam_width``
+    best partial substitution sets and expands each with every
+    single-position move per round.  ``beam_width = 1`` reduces to greedy;
+    wider beams trade model queries for a better-explored search space.
+    """
+
+    kind = "beam"
+
+    def __init__(self, tau: float = 0.7, beam_width: int = 3) -> None:
+        self.tau = _validate_tau(tau)
+        if beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        self.beam_width = beam_width
+
+    def run(self, engine, source, doc, target_label):
+        proposal = engine.index(source, doc)
+        origin = proposal.initial_state()
+        base_score = engine.score(proposal.tokens(origin), target_label)
+        # beam entries: (score, substitutions dict)
+        beam: list[tuple[float, dict]] = [(base_score, {})]
+        best_score, best_subs = base_score, {}
+        for round_index in range(proposal.budget):
+            if best_score >= self.tau or engine.out_of_queries():
+                break
+            candidates: list[dict] = []
+            seen: set[tuple] = set()
+            for _, subs in beam:
+                for j in proposal.positions():
+                    if j in subs:
+                        continue
+                    for move in proposal.moves_at(j):
+                        if move == proposal.unit(origin, j):
+                            continue
+                        extended = {**subs, j: move}
+                        key = tuple(
+                            sorted((p, proposal.move_key(m)) for p, m in extended.items())
+                        )
+                        if key not in seen:
+                            seen.add(key)
+                            candidates.append(extended)
+            if not candidates:
+                break
+            docs = [proposal.tokens(proposal.apply_many(origin, subs)) for subs in candidates]
+            with engine.span("greedy-select"):
+                scores = engine.score_batch(docs, target_label)
+                ranked = sorted(zip(scores, candidates), key=lambda sc: -sc[0])
+            beam = [(s, c) for s, c in ranked[: self.beam_width]]
+            if beam[0][0] <= best_score + 1e-12:
+                break
+            previous_best = best_score
+            best_score, best_subs = beam[0]
+            engine.trace_iteration(
+                stage=proposal.stage,
+                iteration=round_index,
+                positions=sorted(best_subs),
+                n_candidates=len(candidates),
+                best_objective=best_score,
+                marginal_gain=best_score - previous_best,
+                rescans=0,
+            )
+        adversarial = proposal.apply_many(origin, best_subs)
+        return proposal.tokens(adversarial), [proposal.stage] * len(best_subs)
+
+
+class RandomSearch(SearchStrategy):
+    """Uniformly random moves within the budget — the ablation baseline.
+
+    Its gap to the guided strategies quantifies how much the search
+    matters.  Requires scalar (string) moves, i.e. word-level sources.
+    """
+
+    kind = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(self, engine, source, doc, target_label):
+        proposal = engine.index(source, doc)
+        state = proposal.initial_state()
+        rng = np.random.default_rng(self.seed)
+        positions = proposal.positions()
+        if not positions or proposal.budget == 0:
+            return proposal.tokens(state), []
+        chosen = rng.choice(
+            positions, size=min(proposal.budget, len(positions)), replace=False
+        )
+        substitutions = {int(i): str(rng.choice(proposal.moves_at(int(i)))) for i in chosen}
+        stages = [proposal.stage] * len(substitutions)
+        return proposal.tokens(proposal.apply_many(state, substitutions)), stages
+
+
+class FirstOrderSearch(SearchStrategy):
+    """One-shot first-order relaxation — the Gong [18] gradient baseline.
+
+    Solves Problem 2 / Proposition 2 in closed form: linearize ``C_y`` at
+    the current embeddings, score every candidate by
+    ``(V(x_i^{(t)}) − V(x_i)) · ĝ_i``, and apply the top-``budget``
+    positive replacements in one shot.  Fast (one gradient per iteration,
+    no candidate scoring) but weak: the linearization ignores that synonym
+    embeddings are not infinitesimally close (paper Sec. 4.1, Table 3).
+    Word-level only (gradients align with token positions).
+    """
+
+    kind = "first-order"
+
+    def __init__(self, iterations: int = 1) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+
+    def run(self, engine, source, doc, target_label):
+        proposal = engine.index(source, doc)
+        model = engine.model
+
+        def embedding_of(word: str) -> np.ndarray:
+            return model.embedding.weight.data[model.vocab.id(word)]
+
+        current = proposal.initial_state()
+        changed: set[int] = set()
+        stages: list[str] = []
+        for _ in range(self.iterations):
+            remaining = proposal.budget - len(changed)
+            if remaining <= 0 or engine.out_of_queries():
+                break
+            # gradient is only defined over the model's window
+            n = min(len(current), model.max_len)
+            gradient = engine.gradient(current, target_label)
+            original_vectors = np.stack([embedding_of(w) for w in current[:n]])
+            candidate_vectors = [
+                [embedding_of(c) for c in proposal.moves_at(i)] for i in range(n)
+            ]
+            relaxation = modular_relaxation_word2vec(
+                original_vectors, candidate_vectors, gradient
+            )
+            # never re-count already-changed positions against the budget
+            weights = relaxation.weights.copy()
+            weights[[i for i in range(n) if i in changed]] = 0.0
+            order = np.argsort(-weights)
+            substitutions: dict[int, str] = {}
+            for i in order[:remaining]:
+                if weights[i] <= 0:
+                    break
+                substitutions[int(i)] = proposal.moves_at(int(i))[
+                    relaxation.best_choice[i] - 1
+                ]
+            if not substitutions:
+                break
+            current = proposal.apply_many(current, substitutions)
+            changed.update(substitutions)
+            stages.extend([proposal.stage] * len(substitutions))
+        return proposal.tokens(current), stages
+
+
+class GaussSouthwellSearch(SearchStrategy):
+    """Gradient-guided greedy — the paper's Algorithm 3.
+
+    Each iteration asks the source (a
+    :class:`~repro.attacks.proposals.GradientRankedSource`) for the ``N``
+    highest first-order-score positions, builds the *joint* candidate set
+    ``M`` over them (steps 7-15: starting from ``{x}``, extend every
+    member with every candidate word, keeping partials), and moves to the
+    best-scoring member.  The joint set captures interaction effects that
+    one-word-at-a-time greedy misses, while the gradient preselection
+    keeps the search space small (Table 3).
+
+    Because ``|M| = Π (1 + |W_j|)`` grows exponentially in ``N``, the set
+    is beam-limited to ``max_candidates`` members (candidate lists per
+    position are capped at ``per_position_cap``).  When a batch of
+    positions yields no improvement the search falls back to the next
+    batch down the gradient ranking (``skip``) instead of giving up.
+    """
+
+    kind = "gauss-southwell"
+
+    def __init__(
+        self,
+        tau: float = 0.7,
+        words_per_iteration: int = 5,
+        max_candidates: int = 128,
+        per_position_cap: int = 2,
+        max_iterations: int = 50,
+    ) -> None:
+        self.tau = _validate_tau(tau)
+        if words_per_iteration < 1:
+            raise ValueError("words_per_iteration must be >= 1")
+        self.words_per_iteration = words_per_iteration
+        self.max_candidates = max_candidates
+        self.per_position_cap = per_position_cap
+        self.max_iterations = max_iterations
+
+    def run(self, engine, source, doc, target_label):
+        proposal = engine.index(source, doc)
+        current = proposal.initial_state()
+        score = engine.score(proposal.tokens(current), target_label)
+        changed: set[int] = set()
+        stages: list[str] = []
+        skip = 0
+        for _ in range(self.max_iterations):
+            if (
+                score >= self.tau
+                or len(changed) >= proposal.budget
+                or engine.out_of_queries()
+            ):
+                break
+            selected, candidate_order = source.rank_positions(
+                engine,
+                proposal,
+                current,
+                target_label,
+                changed,
+                proposal.budget,
+                self.words_per_iteration,
+                skip=skip,
+            )
+            if not selected:
+                break
+            # steps 7-15: joint candidate product over the selected positions
+            frontier: list[dict[int, str]] = [{}]
+            for j in selected:
+                ordered = candidate_order.get(j, proposal.moves_at(j))
+                extensions: list[dict[int, str]] = []
+                for partial in frontier:
+                    for word in ordered[: self.per_position_cap]:
+                        if word == current[j]:
+                            continue
+                        extensions.append({**partial, j: word})
+                        if len(frontier) + len(extensions) >= self.max_candidates:
+                            break
+                    if len(frontier) + len(extensions) >= self.max_candidates:
+                        break
+                frontier = frontier + extensions
+            frontier = [f for f in frontier if f]
+            if not frontier:
+                break
+            candidates = [proposal.apply_many(current, subs) for subs in frontier]
+            with engine.span("greedy-select"):
+                scores = engine.score_batch(
+                    [proposal.tokens(c) for c in candidates], target_label
+                )
+                best = max(range(len(scores)), key=scores.__getitem__)
+            if scores[best] <= score + 1e-12:
+                # This batch of positions cannot improve; fall back to the
+                # next batch down the gradient ranking.
+                skip += self.words_per_iteration
+                continue
+            skip = 0
+            subs = self.prune(engine, frontier[best], current, scores[best], target_label)
+            engine.trace_iteration(
+                stage=proposal.stage,
+                iteration=len(stages),
+                positions=sorted(subs),
+                n_candidates=len(candidates),
+                best_objective=scores[best],
+                marginal_gain=scores[best] - score,
+                rescans=0,
+            )
+            current = proposal.apply_many(current, subs)
+            score = scores[best]
+            for pos in subs:
+                if current[pos] != doc[pos]:
+                    changed.add(pos)
+                else:
+                    changed.discard(pos)
+            stages.extend([proposal.stage] * len(subs))
+        return proposal.tokens(current), stages
+
+    def prune(
+        self,
+        engine: "AttackEngine",
+        substitutions: dict[int, str],
+        current: list[str],
+        best_score: float,
+        target_label: int,
+    ) -> dict[int, str]:
+        """Backward pruning: drop substitutions that don't pay their way.
+
+        The joint candidate search can include replacements contributing
+        only epsilon to the combined score; each such replacement still
+        consumes a unit of the distinct-word budget.  Removing each
+        substitution in turn and keeping the removal whenever the score
+        does not drop refunds that budget at a cost of |combo| extra
+        queries.
+        """
+        if len(substitutions) <= 1:
+            return substitutions
+        kept = dict(substitutions)
+        for pos in sorted(substitutions):
+            if len(kept) == 1:
+                break
+            trial = {p: w for p, w in kept.items() if p != pos}
+            score = engine.score_batch(
+                [apply_word_substitutions(current, trial)], target_label
+            )[0]
+            if score >= best_score - 1e-12:
+                kept = trial
+                best_score = score
+        return kept
+
+
+class StagedSearch(SearchStrategy):
+    """Sequential composition of (source, strategy) stages — Algorithm 1.
+
+    Runs each stage's search on the previous stage's output through the
+    *same* engine, so all stages share one ScoreCache (scores paid in the
+    sentence stage are hits when the word stage starts), one query
+    counter, and one trace.  Between stages the incumbent is scored once
+    and the pipeline stops early when τ is already reached — exactly
+    Alg. 1's "if C_y ≥ τ return" between steps 5 and 6.
+    """
+
+    kind = "staged"
+
+    def __init__(
+        self,
+        stages: list[tuple["CandidateSource", "SearchStrategy"]],
+        tau: float = 0.7,
+    ) -> None:
+        if not stages:
+            raise ValueError("StagedSearch needs at least one stage")
+        self.stages = list(stages)
+        self.tau = _validate_tau(tau)
+
+    def reseed(self, seed: int) -> None:
+        reseed_object(self, seed)
+        for stage_source, stage_search in self.stages:
+            stage_source.reseed(seed)
+            stage_search.reseed(seed)
+
+    def run(self, engine, source, doc, target_label):
+        # `source` is unused: each stage carries its own source.  The
+        # engine passes its configured source through for interface
+        # uniformity (it is the first stage's source).
+        current = list(doc)
+        tags: list[str] = []
+        for index, (stage_source, stage_search) in enumerate(self.stages):
+            tokens, stage_tags = stage_search.run(engine, stage_source, current, target_label)
+            current = tokens
+            tags = tags + stage_tags
+            if index < len(self.stages) - 1:
+                if engine.score(current, target_label) >= self.tau:
+                    return current, tags
+        return current, tags

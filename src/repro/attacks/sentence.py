@@ -7,24 +7,25 @@ sentences have been paraphrased.  The paper deliberately does *not* use
 gradients here: sentence paraphrases change token counts, so gradients
 computed before the substitution no longer align with positions (Sec. 5.2).
 
-``strategy="lazy"`` swaps the full rescan for CELF lazy greedy (see
-:mod:`repro.attacks.greedy_word` for the rationale); sentence candidate
-sets are the paper's most expensive to score, so stale-bound reuse saves
-the most forwards here.
+Composition: :class:`~repro.attacks.proposals.SentenceParaphraseSource` ×
+:class:`~repro.attacks.search.GreedySearch`; ``strategy="lazy"`` swaps in
+:class:`~repro.attacks.search.LazyGreedySearch` (sentence candidate sets
+are the paper's most expensive to score, so stale-bound reuse saves the
+most forwards here).
 """
 
 from __future__ import annotations
 
-from repro.attacks.base import Attack
+from repro.attacks.engine import AttackEngine
 from repro.attacks.paraphrase import SentenceParaphraser
+from repro.attacks.proposals import SentenceParaphraseSource
+from repro.attacks.search import GreedySearch, LazyGreedySearch
 from repro.models.base import TextClassifier
-from repro.submodular.greedy import LazyMarginalHeap
-from repro.text.sentence import join_sentences
 
 __all__ = ["GreedySentenceAttack"]
 
 
-class GreedySentenceAttack(Attack):
+class GreedySentenceAttack(AttackEngine):
     """Algorithm 2: objective-guided greedy sentence paraphrasing."""
 
     name = "greedy-sentence"
@@ -39,148 +40,23 @@ class GreedySentenceAttack(Attack):
         use_cache: bool = True,
         cache_max_entries: int | None = None,
     ) -> None:
-        super().__init__(
-            model, use_cache=use_cache, cache_max_entries=cache_max_entries
-        )
-        if not 0.0 <= sentence_budget_ratio <= 1.0:
-            raise ValueError("sentence_budget_ratio must be in [0, 1]")
-        if not 0.0 < tau <= 1.0:
-            raise ValueError("tau must be in (0, 1]")
         if strategy not in ("scan", "lazy"):
             raise ValueError("strategy must be 'scan' or 'lazy'")
-        self.paraphraser = paraphraser
-        self.sentence_budget_ratio = sentence_budget_ratio
-        self.tau = tau
+        source = SentenceParaphraseSource(paraphraser, sentence_budget_ratio)
+        search = GreedySearch(tau) if strategy == "scan" else LazyGreedySearch(tau)
+        super().__init__(
+            model, source, search, use_cache=use_cache, cache_max_entries=cache_max_entries
+        )
         self.strategy = strategy
 
-    @staticmethod
-    def _apply(current: list[list[str]], j: int, sentence: list[str]) -> list[list[str]]:
-        return current[:j] + [list(sentence)] + current[j + 1 :]
+    @property
+    def paraphraser(self):
+        return self.source.paraphraser
 
-    def _run(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        if self.strategy == "lazy":
-            return self._run_lazy(doc, target_label)
-        with self._span("candidate-gen"):
-            sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
-        budget = int(round(self.sentence_budget_ratio * len(sentences)))
-        current = [list(s) for s in sentences]
-        current_score = self._score(join_sentences(current), target_label)
-        paraphrased: set[int] = set()
-        stages: list[str] = []
-        while current_score < self.tau and len(paraphrased) < budget:
-            candidates: list[list[str]] = []
-            meta: list[tuple[int, list[str]]] = []
-            for j in neighbor_sets.attackable_sentences:
-                for cand_sentence in neighbor_sets[j]:
-                    if cand_sentence == current[j]:
-                        continue
-                    candidates.append(join_sentences(self._apply(current, j, cand_sentence)))
-                    meta.append((j, list(cand_sentence)))
-            if not candidates:
-                break
-            with self._span("greedy-select"):
-                scores = self._score_batch(candidates, target_label)
-                best = max(range(len(scores)), key=scores.__getitem__)
-            if scores[best] <= current_score + 1e-12:
-                break
-            j, new_sentence = meta[best]
-            self._trace_event(
-                "greedy_iteration",
-                stage="sentence",
-                iteration=len(stages),
-                positions=[j],
-                n_candidates=len(candidates),
-                best_objective=scores[best],
-                marginal_gain=scores[best] - current_score,
-                rescans=0,
-            )
-            current[j] = new_sentence
-            current_score = scores[best]
-            if new_sentence == sentences[j]:
-                paraphrased.discard(j)
-            else:
-                paraphrased.add(j)
-            stages.append("sentence")
-        return join_sentences(current), stages
+    @property
+    def sentence_budget_ratio(self) -> float:
+        return self.source.sentence_budget_ratio
 
-    def _run_lazy(self, doc: list[str], target_label: int) -> tuple[list[str], list[str]]:
-        """CELF variant over (sentence index, paraphrase index) moves."""
-        with self._span("candidate-gen"):
-            sentences, neighbor_sets = self.paraphraser.neighbor_sets(doc)
-        budget = int(round(self.sentence_budget_ratio * len(sentences)))
-        current = [list(s) for s in sentences]
-        current_score = self._score(join_sentences(current), target_label)
-        paraphrased: set[int] = set()
-        stages: list[str] = []
-        if budget == 0 or current_score >= self.tau:
-            return join_sentences(current), stages
-        # moves are indexed, not hashed by content: (sentence j, candidate t)
-        moves: list[tuple[int, list[str]]] = [
-            (j, list(cand))
-            for j in neighbor_sets.attackable_sentences
-            for cand in neighbor_sets[j]
-        ]
-
-        def rebuild_heap() -> LazyMarginalHeap | None:
-            admissible = [i for i, (j, cand) in enumerate(moves) if cand != current[j]]
-            if not admissible:
-                return None
-            scores = self._score_batch(
-                [
-                    join_sentences(self._apply(current, moves[i][0], moves[i][1]))
-                    for i in admissible
-                ],
-                target_label,
-            )
-            heap = LazyMarginalHeap()
-            heap.push_all(
-                (i, s - current_score) for i, s in zip(admissible, scores)
-            )
-            return heap
-
-        heap = rebuild_heap()
-        fresh_heap = True
-        while heap is not None and current_score < self.tau and len(paraphrased) < budget:
-            rescans = 0
-
-            def fresh_gain(idx: int) -> float | None:
-                nonlocal rescans
-                rescans += 1
-                j, cand = moves[idx]
-                if cand == current[j]:
-                    return None  # already applied
-                candidate = join_sentences(self._apply(current, j, cand))
-                return self._score_batch([candidate], target_label)[0] - current_score
-
-            with self._span("greedy-select"):
-                n_candidates = len(heap)
-                picked = heap.select(fresh_gain, tolerance=1e-12)
-            if picked is None:
-                # stale bounds are exact only under submodularity: confirm
-                # exhaustion with one batched rescan before terminating
-                if fresh_heap:
-                    break
-                heap = rebuild_heap()
-                fresh_heap = True
-                continue
-            idx, gain = picked
-            j, new_sentence = moves[idx]
-            current[j] = new_sentence
-            current_score += gain
-            self._trace_event(
-                "greedy_iteration",
-                stage="sentence",
-                iteration=len(stages),
-                positions=[j],
-                n_candidates=n_candidates,
-                best_objective=current_score,
-                marginal_gain=gain,
-                rescans=rescans,
-            )
-            if new_sentence == sentences[j]:
-                paraphrased.discard(j)
-            else:
-                paraphrased.add(j)
-            stages.append("sentence")
-            fresh_heap = False
-        return join_sentences(current), stages
+    @property
+    def tau(self) -> float:
+        return self.search.tau

@@ -1,16 +1,20 @@
-"""Transformation indexing over documents (paper Sec. 3, Fig. 2).
+"""Compatibility shim — the transformation data structures live in
+:mod:`repro.text.transformations` now.
 
-A transformation is indexed by a vector ``l`` with ``l_i ∈ {0..k_i−1}``:
-``l_i = 0`` keeps feature ``i`` and ``l_i = t`` substitutes its ``t``-th
-candidate.  :class:`WordNeighborSets` holds the per-position candidate sets
-``W_i`` (Alg. 1 step 7) and :class:`SentenceNeighborSets` the per-sentence
-sets ``S_i`` (step 3).
+They are pure token-level containers with no dependence on the attack
+layer, and lower layers (``repro.data.urls``, ``repro.submodular.empirical``)
+need them too; hosting them here inverted the import layering
+(``nn → text/models → attacks → eval → experiments``).  This module
+re-exports them so existing ``repro.attacks.transformations`` imports and
+the ``repro.attacks`` public API keep working.
 """
 
-from __future__ import annotations
-
-from collections.abc import Sequence
-from dataclasses import dataclass
+from repro.text.transformations import (
+    SentenceNeighborSets,
+    WordNeighborSets,
+    apply_word_substitutions,
+    transformation_support,
+)
 
 __all__ = [
     "WordNeighborSets",
@@ -18,78 +22,3 @@ __all__ = [
     "apply_word_substitutions",
     "transformation_support",
 ]
-
-
-def apply_word_substitutions(tokens: Sequence[str], substitutions: dict[int, str]) -> list[str]:
-    """Return a copy of ``tokens`` with ``{position: new_word}`` applied."""
-    out = list(tokens)
-    for idx, word in substitutions.items():
-        if not 0 <= idx < len(out):
-            raise IndexError(f"substitution index {idx} out of range for length {len(out)}")
-        out[idx] = word
-    return out
-
-
-def transformation_support(original: Sequence[str], transformed: Sequence[str]) -> list[int]:
-    """Positions where ``transformed`` differs from ``original`` (= supp(l)).
-
-    Only defined for equal-length word-level transformations.
-    """
-    if len(original) != len(transformed):
-        raise ValueError("support is defined for equal-length transformations")
-    return [i for i, (a, b) in enumerate(zip(original, transformed)) if a != b]
-
-
-@dataclass
-class WordNeighborSets:
-    """Per-position word candidate sets ``W = {W_1, ..., W_n}``."""
-
-    candidates: list[list[str]]
-
-    def __post_init__(self) -> None:
-        for i, cands in enumerate(self.candidates):
-            if len(set(cands)) != len(cands):
-                raise ValueError(f"duplicate candidates at position {i}")
-
-    def __len__(self) -> int:
-        return len(self.candidates)
-
-    def __getitem__(self, position: int) -> list[str]:
-        return self.candidates[position]
-
-    @property
-    def num_candidates(self) -> list[int]:
-        """``k_i`` per position (including the implicit 'keep')."""
-        return [len(c) + 1 for c in self.candidates]
-
-    @property
-    def attackable_positions(self) -> list[int]:
-        """Positions with at least one replacement candidate."""
-        return [i for i, c in enumerate(self.candidates) if c]
-
-    def total_candidates(self) -> int:
-        return sum(len(c) for c in self.candidates)
-
-
-@dataclass
-class SentenceNeighborSets:
-    """Per-sentence paraphrase sets ``S = {S_1, ..., S_l}``.
-
-    Each candidate is itself a token list (sentence paraphrases may change
-    the number of words).
-    """
-
-    candidates: list[list[list[str]]]
-
-    def __len__(self) -> int:
-        return len(self.candidates)
-
-    def __getitem__(self, sentence_idx: int) -> list[list[str]]:
-        return self.candidates[sentence_idx]
-
-    @property
-    def attackable_sentences(self) -> list[int]:
-        return [i for i, c in enumerate(self.candidates) if c]
-
-    def total_candidates(self) -> int:
-        return sum(len(c) for c in self.candidates)

@@ -23,8 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.attacks.transformations import WordNeighborSets
 from repro.data.datasets import Example, TextDataset
+from repro.text.transformations import WordNeighborSets
 
 __all__ = ["UrlCorpusConfig", "make_url_corpus", "UrlCharCandidates", "url_to_tokens", "tokens_to_url"]
 

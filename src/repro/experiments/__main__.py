@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments all               # everything
     python -m repro.experiments table3 --save results/   # + JSON/CSV dumps
     python -m repro.experiments report runs/      # render a traced run
+    python -m repro.experiments list-attacks      # registry: source x strategy
 
 Results print as aligned text tables; trained victims are cached under
 ``.cache/`` so repeated runs are fast.  Setting ``REPRO_TRACE_DIR`` (or
@@ -20,6 +21,7 @@ import argparse
 import sys
 import time
 
+from repro.attacks import ATTACKS
 from repro.eval.artifacts import ResultsWriter
 from repro.experiments import (
     appendix_examples,
@@ -85,12 +87,36 @@ def _report_main(argv: list[str]) -> int:
     return 0
 
 
+def _list_attacks_main(argv: list[str]) -> int:
+    """``list-attacks``: print the registry as a source × strategy table."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments list-attacks",
+        description="List the attack registry: every name with its candidate "
+        "source, search strategy and paper reference.",
+    )
+    parser.parse_args(argv)
+    specs = [ATTACKS[name] for name in sorted(ATTACKS)]
+    headers = ("name", "source", "strategy", "paper")
+    rows = [(s.name, s.source, s.strategy, s.paper) for s in specs]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    print(fmt.format(*headers))
+    print(fmt.format(*("-" * w for w in widths)))
+    for row in rows:
+        print(fmt.format(*row))
+    print(f"\n{len(specs)} attacks; build one with repro.attacks.build_attack(name, model, ...)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # `report` is a verb, not an artifact: dispatch before the artifact parser
+    # `report` and `list-attacks` are verbs, not artifacts: dispatch before
+    # the artifact parser
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] == "list-attacks":
+        return _list_attacks_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",

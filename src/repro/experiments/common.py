@@ -28,15 +28,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.attacks import (
+    ATTACKS,
     Attack,
-    GradientGuidedGreedyAttack,
-    GradientWordAttack,
-    JointParaphraseAttack,
-    ObjectiveGreedyWordAttack,
     ParaphraseConfig,
-    RandomWordAttack,
     SentenceParaphraser,
     WordParaphraser,
+    build_attack,
 )
 from repro.data import (
     CorpusConfig,
@@ -64,7 +61,18 @@ from repro.text import (
     synonym_clustered_embeddings,
 )
 
-__all__ = ["ExperimentSettings", "ExperimentContext", "DATASETS", "MODELS"]
+__all__ = ["ExperimentSettings", "ExperimentContext", "DATASETS", "MODELS", "METHOD_ALIASES"]
+
+#: driver-facing method names (paper terminology) → registry names; the
+#: registry names themselves are also accepted by :meth:`make_attack`
+METHOD_ALIASES = {
+    "joint": "joint",
+    "joint-greedy": "joint_greedy",
+    "gradient-guided": "gradient_guided",
+    "objective-greedy": "greedy_word",
+    "gradient": "gradient_word",
+    "random": "random_word",
+}
 
 DATASETS = ("news", "trec07p", "yelp")
 MODELS = ("wcnn", "lstm")
@@ -329,43 +337,47 @@ class ExperimentContext:
         strategy: str = "scan",
         use_cache: bool = True,
     ) -> Attack:
-        """Attack factory by method name.
+        """Attack factory by method name, resolved through the registry.
 
-        Methods: ``joint`` (Alg. 1, ours), ``joint-greedy`` (Alg. 1 with the
-        objective-greedy word stage), ``gradient-guided`` (Alg. 3),
-        ``objective-greedy`` ([19]), ``gradient`` ([18]), ``random``.
-        ``strategy`` selects scan vs CELF lazy greedy for the greedy
-        searches; ``use_cache`` toggles the per-call :class:`ScoreCache`.
+        ``method`` is a paper-terminology alias (``joint`` = Alg. 1 ours,
+        ``joint-greedy``, ``gradient-guided`` = Alg. 3, ``objective-greedy``
+        = [19], ``gradient`` = [18], ``random``) or any registry name from
+        :data:`repro.attacks.ATTACKS` (``charflip_greedy``, ``beam_word``,
+        ...).  Each spec declares which paraphrasers it needs and which
+        keywords it takes, so new registry entries work here without new
+        branches.  ``strategy`` selects scan vs CELF lazy greedy where the
+        spec supports it; ``use_cache`` toggles the per-call
+        :class:`ScoreCache`.
         """
-        wp = self.word_paraphraser(dataset)
-        tau = self.settings.tau
-        if method in ("joint", "joint-greedy"):
-            sb = sentence_budget if sentence_budget is not None else self.sentence_budget(dataset)
-            attack: Attack = JointParaphraseAttack(
-                model,
-                wp,
-                self.sentence_paraphraser(dataset),
-                word_budget_ratio=word_budget,
-                sentence_budget_ratio=sb,
-                tau=tau,
-                word_attack="objective-greedy" if method == "joint-greedy" else "gradient-guided",
-                strategy=strategy,
-                use_cache=use_cache,
-            )
-        elif method == "gradient-guided":
-            attack = GradientGuidedGreedyAttack(
-                model, wp, word_budget, tau=tau, use_cache=use_cache
-            )
-        elif method == "objective-greedy":
-            attack = ObjectiveGreedyWordAttack(
-                model, wp, word_budget, tau=tau, strategy=strategy, use_cache=use_cache
-            )
-        elif method == "gradient":
-            attack = GradientWordAttack(model, wp, word_budget)
-        elif method == "random":
-            attack = RandomWordAttack(model, wp, word_budget, seed=self.settings.seed)
-        else:
-            raise KeyError(f"unknown attack method {method!r}")
+        name = METHOD_ALIASES.get(method, method)
+        try:
+            spec = ATTACKS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown attack method {method!r}; choose from "
+                f"{sorted(METHOD_ALIASES)} or {sorted(ATTACKS)}"
+            ) from None
+        available = {
+            "word_budget_ratio": word_budget,
+            "sentence_budget_ratio": (
+                sentence_budget if sentence_budget is not None else self.sentence_budget(dataset)
+            ),
+            "tau": self.settings.tau,
+            "strategy": strategy,
+            "use_cache": use_cache,
+            "seed": self.settings.seed,
+        }
+        attack = build_attack(
+            name,
+            model,
+            word_paraphraser=(
+                self.word_paraphraser(dataset) if "word" in spec.needs else None
+            ),
+            sentence_paraphraser=(
+                self.sentence_paraphraser(dataset) if "sentence" in spec.needs else None
+            ),
+            **{p: available[p] for p in spec.params if p in available},
+        )
         attack.set_profiler(self.profiler)
         return attack
 

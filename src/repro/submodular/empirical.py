@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.attacks.transformations import WordNeighborSets, apply_word_substitutions
 from repro.models.base import TextClassifier
+from repro.text.transformations import WordNeighborSets, apply_word_substitutions
 from repro.submodular.set_function import AttackSetFunction
 
 __all__ = ["classifier_attack_set_function"]

@@ -9,6 +9,12 @@ from repro.text.embeddings import (
 from repro.text.ngram_lm import NGramLM
 from repro.text.sentence import join_sentences, split_sentences
 from repro.text.tokenizer import detokenize, tokenize
+from repro.text.transformations import (
+    SentenceNeighborSets,
+    WordNeighborSets,
+    apply_word_substitutions,
+    transformation_support,
+)
 from repro.text.vocab import PAD, UNK, Vocabulary
 from repro.text.wmd import relaxed_wmd, wmd, wmd_similarity, word_distance, word_similarity
 
@@ -21,6 +27,10 @@ __all__ = [
     "split_sentences",
     "join_sentences",
     "NGramLM",
+    "WordNeighborSets",
+    "SentenceNeighborSets",
+    "apply_word_substitutions",
+    "transformation_support",
     "synonym_clustered_embeddings",
     "embedding_matrix_for_vocab",
     "PPMIEmbedder",

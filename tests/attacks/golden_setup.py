@@ -1,0 +1,90 @@
+"""Shared recipe for the golden attack-parity fixtures.
+
+The golden fixtures freeze ``AttackResult.to_dict()`` outputs (wall time
+zeroed — it is the one nondeterministic field) for every registry attack on
+a small seeded corpus.  ``make_golden.py`` generates them; the parity test
+asserts the engine-backed attacks still reproduce them bitwise, serially
+and at 2 workers.
+
+The corpus/victim recipe here deliberately mirrors the session fixtures in
+``tests/fixtures.py`` so the parity test can reuse the already-trained
+session victim instead of training a second one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+#: documents per attack — first N of the fixtures' ``attackable_docs``
+N_GOLDEN_DOCS = 4
+#: base seed handed to ParallelAttackRunner (per-document reseeding)
+BASE_SEED = 0
+
+#: registry attack name -> constructor overrides (beyond the registry
+#: defaults).  Keys must match ``repro.attacks.registry.ATTACKS``.
+GOLDEN_CASES: dict[str, dict] = {
+    "greedy_word": {},
+    "lazy_greedy_word": {},
+    "greedy_sentence": {"sentence_budget_ratio": 0.4},
+    "gradient_guided": {},
+    "gradient_word": {},
+    "random_word": {},
+    "beam_word": {"beam_width": 2},
+    "charflip_greedy": {},
+    "joint": {"sentence_budget_ratio": 0.4},
+    "joint_greedy": {"sentence_budget_ratio": 0.4},
+}
+
+
+def golden_docs(attackable_docs):
+    """(docs, targets) slice used by both the generator and the test."""
+    pairs = attackable_docs[:N_GOLDEN_DOCS]
+    return [list(d) for d, _ in pairs], [t for _, t in pairs]
+
+
+def normalize(payload: dict) -> dict:
+    """Zero the only nondeterministic field of an AttackResult payload."""
+    out = dict(payload)
+    out["wall_time"] = 0.0
+    return out
+
+
+def fixture_bundle():
+    """Standalone rebuild of the session fixtures (for the generator)."""
+    from repro.attacks import ParaphraseConfig, SentenceParaphraser, WordParaphraser
+    from repro.data import CorpusConfig, make_sentiment_corpus, sentiment_lexicon
+    from repro.models import WCNN, TrainConfig, fit
+    from repro.text import (
+        NGramLM,
+        Vocabulary,
+        embedding_matrix_for_vocab,
+        synonym_clustered_embeddings,
+    )
+
+    corpus = make_sentiment_corpus(CorpusConfig(n_train=240, n_test=60, seed=101))
+    lexicon = sentiment_lexicon()
+    vectors = synonym_clustered_embeddings(
+        lexicon.word_cluster_lists(),
+        extra_words=lexicon.function_words,
+        dim=32,
+        cluster_radius=0.4,
+        seed=0,
+    )
+    vocab = Vocabulary.build(corpus.documents("train"))
+    emb = embedding_matrix_for_vocab(vocab, vectors, dim=32)
+    victim = WCNN(vocab, 72, pretrained_embeddings=emb, num_filters=48, seed=0)
+    fit(victim, corpus.train, TrainConfig(epochs=8, seed=0))
+    lm = NGramLM(order=3, alpha=0.1).fit(corpus.documents("train"))
+    pconfig = ParaphraseConfig(k=15, delta_w=0.4, delta_s=0.5)
+    wp = WordParaphraser(lexicon, vectors, lm=lm, config=pconfig)
+    sp = SentenceParaphraser(lexicon, vectors, config=pconfig)
+    docs = corpus.documents("test")
+    labels = corpus.labels("test")
+    preds = victim.predict(docs)
+    attackable = [
+        (docs[i], int(1 - labels[i]))
+        for i in range(len(docs))
+        if preds[i] == labels[i]
+    ][:12]
+    return victim, wp, sp, attackable

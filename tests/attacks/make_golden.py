@@ -1,0 +1,91 @@
+"""Generate the golden attack-parity fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src python -m tests.attacks.make_golden
+
+Writes one JSON file per registry attack under ``tests/attacks/golden/``,
+containing the normalized ``AttackResult.to_dict()`` payloads for the first
+``N_GOLDEN_DOCS`` attackable fixture documents, attacked through
+``ParallelAttackRunner`` (1 worker) so the per-document reseeding path is
+the one the parity test exercises.
+
+The fixtures were frozen from the pre-refactor attack classes; rerunning
+this script against the engine-backed attacks must reproduce the committed
+files byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.attacks import (
+    BeamSearchWordAttack,
+    CharFlipCandidates,
+    GradientGuidedGreedyAttack,
+    GradientWordAttack,
+    GreedySentenceAttack,
+    JointParaphraseAttack,
+    ObjectiveGreedyWordAttack,
+    RandomWordAttack,
+)
+from repro.eval.parallel import ParallelAttackRunner
+
+from tests.attacks.golden_setup import (
+    BASE_SEED,
+    GOLDEN_CASES,
+    GOLDEN_DIR,
+    fixture_bundle,
+    golden_docs,
+    normalize,
+)
+
+
+def build_case(name: str, victim, wp, sp):
+    """Construct one golden attack via the public class constructors."""
+    kw = GOLDEN_CASES[name]
+    if name == "greedy_word":
+        return ObjectiveGreedyWordAttack(victim, wp, 0.2, **kw)
+    if name == "lazy_greedy_word":
+        return ObjectiveGreedyWordAttack(victim, wp, 0.2, strategy="lazy", **kw)
+    if name == "greedy_sentence":
+        return GreedySentenceAttack(victim, sp, **kw)
+    if name == "gradient_guided":
+        return GradientGuidedGreedyAttack(victim, wp, 0.2, **kw)
+    if name == "gradient_word":
+        return GradientWordAttack(victim, wp, 0.2, **kw)
+    if name == "random_word":
+        return RandomWordAttack(victim, wp, 0.2, **kw)
+    if name == "beam_word":
+        return BeamSearchWordAttack(victim, wp, 0.2, **kw)
+    if name == "charflip_greedy":
+        return ObjectiveGreedyWordAttack(victim, CharFlipCandidates(), 0.2, **kw)
+    if name == "joint":
+        return JointParaphraseAttack(victim, wp, sp, 0.2, **kw)
+    if name == "joint_greedy":
+        return JointParaphraseAttack(
+            victim, wp, sp, 0.2, word_attack="objective-greedy", **kw
+        )
+    raise KeyError(name)
+
+
+def main() -> None:
+    victim, wp, sp, attackable = fixture_bundle()
+    docs, targets = golden_docs(attackable)
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(GOLDEN_CASES):
+        attack = build_case(name, victim, wp, sp)
+        runner = ParallelAttackRunner(attack, n_workers=1, base_seed=BASE_SEED)
+        results = runner.run(docs, targets)
+        payloads = [normalize(r.to_dict()) for r in results]
+        path = GOLDEN_DIR / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump({"attack": name, "results": payloads}, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        n_q = sum(p["n_queries"] for p in payloads)
+        n_s = sum(p["success"] for p in payloads)
+        print(f"{name:<18} {len(payloads)} docs  {n_q:>5} queries  {n_s} successes")
+
+
+if __name__ == "__main__":
+    main()

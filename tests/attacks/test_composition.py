@@ -1,0 +1,159 @@
+"""Novel source × strategy combinations and engine plumbing.
+
+The point of the refactor: attacks are one ``AttackEngine(model, source,
+strategy)`` composition away, specs pickle for the fork pool, and the
+engine's query budget applies to any combination uniformly.
+"""
+
+import pickle
+
+import pytest
+
+from repro.attacks import (
+    ATTACKS,
+    AttackEngine,
+    AttackResult,
+    BeamSearch,
+    CharFlipSource,
+    GreedySearch,
+    LazyGreedySearch,
+    SentenceParaphraseSource,
+    build_attack,
+)
+from repro.eval.parallel import ParallelAttackRunner, fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def _comparable(result: AttackResult) -> dict:
+    payload = result.to_dict()
+    payload.pop("wall_time", None)
+    return payload
+
+
+class TestNovelCombinations:
+    def test_charflip_beam_composes(self, victim, attackable_docs):
+        """char-flip × beam exists in no attack class — it comes free."""
+        doc, target = attackable_docs[0]
+        engine = AttackEngine(
+            victim,
+            CharFlipSource(word_budget_ratio=0.3),
+            BeamSearch(tau=0.7, beam_width=2),
+            name="charflip-beam",
+        )
+        result = engine.attack(doc, target)
+        assert isinstance(result, AttackResult)
+        assert result.n_queries >= 1
+        assert engine.name == "charflip-beam"
+
+    def test_sentence_lazy_composes(self, victim, sentence_paraphraser, attackable_docs):
+        doc, target = attackable_docs[0]
+        engine = AttackEngine(
+            victim,
+            SentenceParaphraseSource(sentence_paraphraser, sentence_budget_ratio=0.4),
+            LazyGreedySearch(tau=0.7),
+        )
+        result = engine.attack(doc, target)
+        assert isinstance(result, AttackResult)
+        assert all(stage == "sentence" for stage in result.stages)
+
+    def test_composed_engine_reseeds(self, victim, attackable_docs):
+        doc, target = attackable_docs[0]
+        engine = AttackEngine(
+            victim, CharFlipSource(), BeamSearch(tau=0.7, beam_width=2)
+        )
+        engine.reseed(11)
+        a = engine.attack(doc, target)
+        engine.reseed(11)
+        b = engine.attack(doc, target)
+        assert _comparable(a) == _comparable(b)
+
+
+class TestQueryBudget:
+    def test_max_queries_caps_search(self, victim, word_paraphraser, attackable_docs):
+        doc, target = attackable_docs[0]
+
+        def run(max_queries):
+            engine = build_attack(
+                "greedy_word", victim, word_paraphraser=word_paraphraser, tau=0.99
+            )
+            engine.max_queries = max_queries
+            return engine.attack(doc, target)
+
+        full = run(None)
+        capped = run(2)
+        assert capped.n_queries < full.n_queries
+        assert isinstance(capped, AttackResult)
+
+    def test_max_queries_validated(self, victim, word_paraphraser):
+        with pytest.raises(ValueError):
+            AttackEngine(
+                victim,
+                CharFlipSource(),
+                GreedySearch(),
+                max_queries=0,
+            )
+
+
+class TestSpecPickling:
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_spec_roundtrips(self, name):
+        spec = pickle.loads(pickle.dumps(ATTACKS[name]))
+        assert spec.name == name
+        assert spec.builder is ATTACKS[name].builder
+
+    def test_built_engine_pickles(self, victim, word_paraphraser, sentence_paraphraser):
+        for name in ("greedy_word", "joint", "random_word"):
+            attack = build_attack(
+                name,
+                victim,
+                word_paraphraser=word_paraphraser,
+                sentence_paraphraser=sentence_paraphraser,
+            )
+            clone = pickle.loads(pickle.dumps(attack))
+            assert clone.name == attack.name
+
+    def test_composed_engine_pickles(self, victim):
+        engine = AttackEngine(victim, CharFlipSource(), BeamSearch(beam_width=2))
+        clone = pickle.loads(pickle.dumps(engine))
+        assert isinstance(clone.search, BeamSearch)
+        assert clone.search.beam_width == 2
+
+
+class TestRunnerFromRegistry:
+    def test_serial(self, victim, word_paraphraser, attackable_docs):
+        docs = [doc for doc, _ in attackable_docs[:3]]
+        targets = [t for _, t in attackable_docs[:3]]
+        runner = ParallelAttackRunner.from_registry(
+            "greedy_word",
+            victim,
+            word_paraphraser=word_paraphraser,
+            n_workers=1,
+            base_seed=5,
+        )
+        outcomes = runner.run(docs, targets)
+        assert len(outcomes) == 3
+        assert all(isinstance(o, AttackResult) for o in outcomes)
+
+    @needs_fork
+    def test_pool_matches_serial(self, victim, word_paraphraser, attackable_docs):
+        docs = [doc for doc, _ in attackable_docs[:4]]
+        targets = [t for _, t in attackable_docs[:4]]
+
+        def run(n_workers):
+            runner = ParallelAttackRunner.from_registry(
+                "charflip_greedy",
+                victim,
+                attack_kwargs={"word_budget_ratio": 0.3},
+                n_workers=n_workers,
+                base_seed=5,
+            )
+            return [_comparable(o) for o in runner.run(docs, targets)]
+
+        assert run(1) == run(2)
+
+    def test_unknown_name_raises(self, victim):
+        with pytest.raises(KeyError):
+            ParallelAttackRunner.from_registry("hypnosis", victim)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.attacks import ATTACKS
 from repro.experiments.__main__ import _ARTIFACTS, main
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import write_run_metrics
@@ -42,6 +43,27 @@ class TestCli:
     def test_requires_at_least_one(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestListAttacksCli:
+    def test_lists_every_registry_attack(self, capsys):
+        assert main(["list-attacks"]) == 0
+        out = capsys.readouterr().out
+        for name in ATTACKS:
+            assert name in out
+        assert f"{len(ATTACKS)} attacks" in out
+
+    def test_shows_both_axes_and_paper_refs(self, capsys):
+        assert main(["list-attacks"]) == 0
+        out = capsys.readouterr().out
+        # header names the two axes of the compositional space
+        assert "source" in out and "strategy" in out
+        assert "Alg. 1" in out  # the headline attack is attributed
+        assert "CELF lazy greedy" in out
+
+    def test_rejects_extra_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["list-attacks", "--bogus"])
 
 
 @pytest.fixture
