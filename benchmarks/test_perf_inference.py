@@ -20,11 +20,17 @@ trajectory:
    path): the acceptance bars are a ≥2× reduction in paid model forwards
    AND a ≥2× single-thread wall-time speedup, at no loss in attack
    success.
-4. **Parallel corpus runner** — the same fast attack sharded across
-   forked workers via :class:`~repro.eval.parallel.ParallelAttackRunner`;
-   the speedup is recorded (on a single-core container it is ≈ 1× or
-   below — the honest number, not an assertion) and results must be
-   identical to the serial run.
+4. **Parallel corpus runner + scoring service** — the same fast attack
+   sharded across forked workers via
+   :class:`~repro.eval.parallel.ParallelAttackRunner`, with and without
+   the shared-memory scoring service
+   (:mod:`repro.eval.scoring_service`).  A ``docs_per_second`` series is
+   recorded per worker count (1/2/4, service off/on) together with the
+   machine's CPU count; on a single-core container the multi-worker
+   numbers honestly sit at/below serial, and the regression test
+   (``tests/eval/test_bench_scaling.py``) only requires pooled ≥ serial
+   when the recorded CPU count can deliver it.  Results must be identical
+   to the serial run in every configuration.
 """
 
 import os
@@ -182,25 +188,52 @@ def test_inference_perf(benchmark, ctx):
         metrics["attack_success_naive"] = (naive["successes"] / N_DOCS, "rate")
         metrics["attack_success_fast"] = (fast["successes"] / N_DOCS, "rate")
 
-        # -- part 3: parallel corpus runner ----------------------------------
+        # -- part 3: parallel corpus runner + scoring service ----------------
+        # docs/s series per worker count, scoring service off and on, so
+        # BENCH records the actual scaling curve instead of one opaque
+        # speedup scalar.  On a 1-CPU container the multi-worker numbers
+        # honestly sit at/below serial; the regression test only demands
+        # scaling where the hardware can deliver it (cpu_count >= 2).
         attack = ctx.make_attack(
             "joint-greedy", wcnn, DATASET, strategy="lazy", use_cache=True
         )
-        workers = max(2, os.cpu_count() or 1) if fork_available() else 1
-        serial_runner = ctx.attack_runner(attack, n_workers=1)
-        start = time.perf_counter()
-        serial_results = serial_runner.run(attack_docs, targets)
-        t_serial = time.perf_counter() - start
-        pool_runner = ctx.attack_runner(attack, n_workers=workers)
-        start = time.perf_counter()
-        pool_results = pool_runner.run(attack_docs, targets)
-        t_pool = time.perf_counter() - start
-        assert [tuple(r.adversarial) for r in pool_results] == [
-            tuple(r.adversarial) for r in serial_results
-        ], "parallel runner must reproduce the serial results exactly"
-        metrics["parallel_runner_workers"] = (float(workers), "workers")
-        metrics["parallel_runner_docs_per_second"] = (N_DOCS / t_pool, "docs/s")
-        metrics["parallel_runner_speedup"] = (t_serial / t_pool, "x")
+        cpus = os.cpu_count() or 1
+        metrics["parallel_runner_cpu_count"] = (float(cpus), "cpus")
+        worker_counts = (1, 2, 4) if fork_available() else (1,)
+        reference = None  # serial legacy adversarial docs
+        service_reference = None  # service-backed run, any worker count
+        for service_on in (False, True):
+            for workers in worker_counts:
+                runner = ctx.attack_runner(
+                    attack, n_workers=workers, scoring_service=service_on
+                )
+                start = time.perf_counter()
+                results = runner.run(attack_docs, targets)
+                elapsed = time.perf_counter() - start
+                adversarial = [tuple(r.adversarial) for r in results]
+                if not service_on:
+                    if reference is None:
+                        reference = adversarial
+                    assert adversarial == reference, (
+                        f"pooled run ({workers} workers) must reproduce the "
+                        f"serial results exactly"
+                    )
+                else:
+                    if service_reference is None:
+                        service_reference = adversarial
+                    assert adversarial == service_reference, (
+                        f"service-backed runs must be identical at every "
+                        f"worker count (diverged at {workers})"
+                    )
+                    assert adversarial == reference, (
+                        "service-backed adversarial documents must match the "
+                        "legacy path"
+                    )
+                suffix = "_service" if service_on else ""
+                metrics[f"parallel_runner_docs_per_second_{workers}w{suffix}"] = (
+                    N_DOCS / elapsed,
+                    "docs/s",
+                )
         return metrics, naive, fast, reduction, fused_speedup, wall_speedup
 
     metrics, naive, fast, reduction, fused_speedup, wall_speedup = run_once(

@@ -186,6 +186,11 @@ class Attack:
       direct ``attack()`` calls self-open one via ``tracer.next_index()``;
     - ``profiler`` — a :class:`~repro.obs.spans.PhaseProfiler` whose
       spans time the forward / candidate-gen / greedy-select phases.
+
+    ``score_fn`` (a *ScoreBatchFn*, ``docs -> (n, C) probabilities``)
+    reroutes the scoring forwards of :meth:`_score_batch` — e.g. to the
+    shared scoring service of :mod:`repro.eval.scoring_service` — while
+    gradients and the final verdict forward stay on the local model.
     """
 
     name = "attack"
@@ -195,6 +200,7 @@ class Attack:
     tracer = None
     profiler = None
     _trace = None
+    score_fn = None
 
     def __init__(
         self,
@@ -212,6 +218,7 @@ class Attack:
         self.tracer = None
         self.profiler = None
         self._trace = None
+        self.score_fn = None
 
     def reseed(self, seed: int) -> None:
         """Reset every RNG stream this attack owns to a function of ``seed``.
@@ -234,6 +241,17 @@ class Attack:
         for value in vars(self).values():
             if isinstance(value, Attack) and value is not self:
                 value.set_profiler(profiler)
+
+    def set_score_fn(self, score_fn) -> None:
+        """Attach (or with ``None`` detach) a scoring-forward override.
+
+        Recurses into sub-attacks (the joint attack's stages) so every
+        ``_score_batch`` in the composition routes the same way.
+        """
+        self.score_fn = score_fn
+        for value in vars(self).values():
+            if isinstance(value, Attack) and value is not self:
+                value.set_score_fn(score_fn)
 
     def _span(self, name: str):
         """Profiler span context, or a no-op when no profiler is attached."""
@@ -260,6 +278,12 @@ class Attack:
         return not getattr(self.model, "inference_dropout", 0.0)
 
     # -- model access with query accounting --------------------------------
+    def _predict_proba(self, docs: list[list[str]]) -> np.ndarray:
+        """Scoring forward: the attached ``score_fn``, else the local model."""
+        if self.score_fn is not None:
+            return self.score_fn(docs)
+        return self.model.predict_proba(docs)
+
     def _score_batch(self, docs: list[list[str]], target_label: int) -> list[float]:
         """``C_y`` for a batch of candidate documents (deduped + memoized)."""
         if not docs:
@@ -268,7 +292,7 @@ class Attack:
         if cache is None:
             self._queries += len(docs)
             with self._span("forward"):
-                probs = self.model.predict_proba(docs)
+                probs = self._predict_proba(docs)
             self._trace_event(
                 "forward",
                 op="score",
@@ -291,7 +315,7 @@ class Attack:
                 scores[key] = cached
         if missing:
             with self._span("forward"):
-                probs = self.model.predict_proba([unique[key] for key in missing])
+                probs = self._predict_proba([unique[key] for key in missing])
             self._queries += len(missing)
             for key, p in zip(missing, probs[:, target_label].tolist()):
                 cache.put(key, p)

@@ -52,6 +52,7 @@ class AttackEngine(Attack):
         use_cache: bool = True,
         cache_max_entries: int | None = None,
         max_queries: int | None = None,
+        score_fn=None,
     ) -> None:
         super().__init__(model, use_cache=use_cache, cache_max_entries=cache_max_entries)
         if max_queries is not None and max_queries < 1:
@@ -59,6 +60,8 @@ class AttackEngine(Attack):
         self.source = source
         self.search = search
         self.max_queries = max_queries
+        if score_fn is not None:
+            self.score_fn = score_fn
         if name is not None:
             self.name = name
 

@@ -104,6 +104,7 @@ def evaluate_attack(
     progress=None,
     trace_dir: str | os.PathLike | None = None,
     trace_every_n: int | None = None,
+    scoring_service=None,
 ) -> AttackEvaluation:
     """Attack every correctly-classified example and aggregate the outcome.
 
@@ -125,6 +126,10 @@ def evaluate_attack(
     and ``metrics.json`` into that directory; ``trace_every_n`` samples
     the traces (every n-th document, default 1 via
     ``REPRO_TRACE_EVERY_N``).
+
+    ``scoring_service`` routes scoring forwards through the shared
+    scoring service (see :class:`~repro.eval.parallel.ParallelAttackRunner`);
+    ``None`` defers to ``REPRO_SCORING_SERVICE``.
     """
     if not examples:
         raise ValueError("cannot evaluate an attack on zero examples")
@@ -212,7 +217,11 @@ def evaluate_attack(
     try:
         if todo:
             runner = ParallelAttackRunner(
-                attack, n_workers=n_workers, base_seed=seed, on_result=on_result
+                attack,
+                n_workers=n_workers,
+                base_seed=seed,
+                on_result=on_result,
+                scoring_service=scoring_service,
             )
             outcomes = runner.run(
                 [doc for _, _, doc, _ in todo],

@@ -49,10 +49,21 @@ processes:
   runner degrades to an in-process loop with the same reseeding and error
   isolation, so results never depend on the platform.
 
+- **shared scoring service** — with ``REPRO_SCORING_SERVICE=1`` (or
+  ``scoring_service=True``) the runner starts one
+  :class:`~repro.eval.scoring_service.ScoringService` per run: model
+  weights live in a shared-memory arena, and every worker's deterministic
+  scoring forwards are merged across documents into large length-bucketed
+  GEMMs in a single service process.  Service-backed runs are bitwise
+  identical for any worker count; a service that dies mid-run degrades
+  through the same blame-narrowing recovery as a worker crash.
+
 ``REPRO_NUM_WORKERS`` overrides the worker count everywhere the runner is
 wired in (``evaluate_attack``, the table drivers, the perf benchmark);
 unset, the runner defaults to ``os.cpu_count()``.  An unparseable or
-non-positive value raises :class:`WorkerCountError` naming the variable.
+non-positive value raises :class:`WorkerCountError` naming the variable;
+a value beyond ``os.cpu_count()`` is clamped to it with a warning
+(explicit ``n_workers`` arguments are never clamped).
 """
 
 from __future__ import annotations
@@ -61,6 +72,7 @@ import multiprocessing
 import os
 import time
 import traceback
+import warnings
 from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -69,6 +81,12 @@ from dataclasses import dataclass
 
 from repro.attacks.base import Attack, AttackFailure, AttackResult
 from repro.eval.perf import PerfRecorder
+from repro.eval.scoring_service import (
+    ScoringService,
+    ScoringServiceError,
+    ServiceScoreFn,
+    scoring_service_enabled,
+)
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
@@ -122,6 +140,19 @@ def resolve_num_workers(n_workers: int | None = None) -> int:
                 raise WorkerCountError(
                     f"{NUM_WORKERS_ENV} must be a positive integer, got {env!r}"
                 )
+            cpus = os.cpu_count() or 1
+            if n_workers > cpus:
+                # an env-derived count beyond the machine would silently
+                # oversubscribe every runner-wired entry point; explicit
+                # n_workers arguments stay untouched (tests and callers may
+                # deliberately oversubscribe)
+                warnings.warn(
+                    f"{NUM_WORKERS_ENV}={n_workers} exceeds os.cpu_count()="
+                    f"{cpus}; clamping to {cpus} workers",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                n_workers = cpus
         else:
             n_workers = os.cpu_count() or 1
     elif n_workers < 1:
@@ -150,6 +181,12 @@ def _attack_one(
     attack._trace = trace
     try:
         return attack.attack(doc, target)
+    except ScoringServiceError:
+        # not this document's fault: the shared scoring service is gone.
+        # Propagate so the runner's recovery machinery (blame-narrowing in
+        # the pool, local retry in the serial path) reschedules the work
+        # instead of recording a spurious AttackFailure.
+        raise
     except Exception as exc:  # noqa: BLE001 - one bad doc must not kill the run
         return AttackFailure(
             doc_index=idx,
@@ -173,9 +210,17 @@ def _attack_one(
 _WORKER: dict = {}
 
 
-def _init_worker(attack: Attack, base_seed: int, track_perf: bool) -> None:
+def _init_worker(
+    attack: Attack, base_seed: int, track_perf: bool, service_handle=None
+) -> None:
     _WORKER["attack"] = attack
     _WORKER["base_seed"] = base_seed
+    if service_handle is not None:
+        attack.set_score_fn(ServiceScoreFn(service_handle, attack.model))
+    else:
+        # detach any fork-copied score_fn: its client plumbing belongs to
+        # another process/round
+        attack.set_score_fn(None)
     profiler = getattr(attack, "profiler", None)
     if track_perf:
         recorder = PerfRecorder(registry=MetricsRegistry())
@@ -271,6 +316,17 @@ class ParallelAttackRunner:
         each document's :class:`AttackResult`/:class:`AttackFailure`
         lands (completion order, not input order).  Used for journaling
         and heartbeats; exceptions it raises abort the run.
+    scoring_service:
+        Routes every deterministic scoring forward through the shared
+        scoring service (:mod:`repro.eval.scoring_service`): ``True``
+        builds one for the attack's model, a :class:`ScoringService`
+        instance is used as-is (the runner still owns start/stop), and
+        ``False`` forces the legacy in-process path.  The default of
+        ``None`` defers to ``REPRO_SCORING_SERVICE``.  Service-backed
+        runs are bitwise identical across worker counts; a service that
+        dies mid-run is detected via heartbeat/liveness checks and the
+        affected chunks retry through the normal crash-recovery path
+        without it.
     """
 
     def __init__(
@@ -282,6 +338,7 @@ class ParallelAttackRunner:
         perf: PerfRecorder | None = None,
         fault_policy: RunnerFaultPolicy | None = None,
         on_result: Callable[[int, AttackResult | AttackFailure], None] | None = None,
+        scoring_service: "ScoringService | bool | None" = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -292,6 +349,27 @@ class ParallelAttackRunner:
         self.perf = perf if perf is not None else getattr(attack.model, "perf", None)
         self.fault_policy = fault_policy or RunnerFaultPolicy()
         self.on_result = on_result
+        self.scoring_service = scoring_service
+        self._service: ScoringService | None = None
+
+    def _resolve_service(self) -> "ScoringService | None":
+        spec = self.scoring_service
+        if spec is None:
+            spec = scoring_service_enabled()
+        if not spec:
+            return None
+        if spec is True:
+            try:
+                return ScoringService(self.attack.model)
+            except ScoringServiceError as exc:
+                warnings.warn(
+                    f"scoring service unavailable ({exc}); falling back to "
+                    f"in-process scoring",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return None
+        return spec
 
     @classmethod
     def from_registry(
@@ -357,10 +435,34 @@ class ParallelAttackRunner:
         if not items:
             return []
         n_workers = min(self.n_workers, len(items))
-        if n_workers <= 1:
-            outcomes = self._run_serial(items)
-        else:
-            outcomes = self._run_pool(items, n_workers)
+        service = self._resolve_service()
+        if service is not None:
+            try:
+                # one slot per worker plus one for the parent (the serial
+                # path and the degrade-to-serial fallback score through the
+                # service too)
+                service.start(n_clients=n_workers + 1)
+            except Exception as exc:  # noqa: BLE001 - the service is an
+                # optimization; a failed start must not abort the run
+                warnings.warn(
+                    f"scoring service failed to start ({exc}); running "
+                    f"without it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                service = None
+        self._service = service
+        try:
+            if n_workers <= 1:
+                outcomes = self._run_serial(items)
+            else:
+                outcomes = self._run_pool(items, n_workers)
+        finally:
+            self._service = None
+            if service is not None:
+                snapshot = service.stop()
+                if snapshot is not None and self.perf is not None:
+                    self.perf.merge(snapshot)
         return [outcomes[idx] for idx, _, _ in items]
 
     def _emit(self, idx: int, outcome: AttackResult | AttackFailure) -> None:
@@ -373,13 +475,28 @@ class ParallelAttackRunner:
         outcomes: dict[int, AttackResult | AttackFailure] | None = None,
     ) -> dict[int, AttackResult | AttackFailure]:
         """In-process path: same reseeding and error isolation, direct
-        perf accounting (the model's recorder stays attached)."""
+        perf accounting (the model's recorder stays attached).  With a
+        live scoring service attached, scoring routes through it; a
+        service death mid-document is retried locally (reseeding makes
+        the redo deterministic)."""
         if outcomes is None:
             outcomes = {}
-        for idx, doc, target in items:
-            outcome = _attack_one(self.attack, idx, doc, target, self.base_seed)
-            outcomes[idx] = outcome
-            self._emit(idx, outcome)
+        attack = self.attack
+        service = self._service
+        if service is not None and service.alive():
+            service.refill_slots()
+            attack.set_score_fn(ServiceScoreFn(service.handle(), attack.model))
+        try:
+            for idx, doc, target in items:
+                try:
+                    outcome = _attack_one(attack, idx, doc, target, self.base_seed)
+                except ScoringServiceError:
+                    attack.set_score_fn(None)
+                    outcome = _attack_one(attack, idx, doc, target, self.base_seed)
+                outcomes[idx] = outcome
+                self._emit(idx, outcome)
+        finally:
+            attack.set_score_fn(None)
         return outcomes
 
     def _chunks(
@@ -447,11 +564,17 @@ class ParallelAttackRunner:
     ) -> list[_Chunk]:
         """One executor lifetime; returns the chunks whose results were lost."""
         completed: set[int] = set()
+        service_handle = None
+        if self._service is not None and self._service.alive():
+            # the previous round's workers (all gone by now) consumed their
+            # slots; reset before this round's workers claim theirs
+            self._service.refill_slots()
+            service_handle = self._service.handle()
         executor = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(self.attack, self.base_seed, track_perf),
+            initargs=(self.attack, self.base_seed, track_perf, service_handle),
         )
         try:
             futures = {}

@@ -1,0 +1,537 @@
+"""Shared-memory scoring service with cross-document micro-batching.
+
+The parallel corpus runner used to lose throughput to parallelism: each
+forked worker ran its own tiny per-attack forward batches against its own
+(fork-copied) view of the model, so the substrate paid many small GEMMs
+instead of a few large ones.  This module centralizes *all* deterministic
+scoring forwards of a corpus run in one **service process**:
+
+- **shared-memory weight arena** — :class:`SharedWeightArena` moves every
+  parameter array into one ``multiprocessing.shared_memory`` block and
+  rebinds ``Parameter.data`` to views of it *before* the service and the
+  workers fork, so every process maps the same physical pages and no
+  fork-copied weight duplicates exist;
+- **request/response plumbing** — workers (clients) send encoded batches
+  over one bounded request queue (bounded = backpressure: a client blocks,
+  with liveness checks, when the service falls behind) and receive
+  probabilities on a per-client response queue;
+- **micro-batching window** — the service drains the request queue until
+  either every claimed client has a request pending, ``max_batch_docs``
+  documents are buffered, or ``max_wait_seconds`` elapsed since the first
+  request of the window; the merged batch is grouped by padded length and
+  dispatched as one large GEMM per length group;
+- **composition-stable kernels** — merged batch composition depends on
+  timing, so dispatch goes through the
+  :func:`repro.nn.inference.stable_kernel_for` kernels whose output rows
+  are bitwise independent of their batch-mates (see that module for the
+  BLAS analysis).  Consequently a service-backed run is bitwise identical
+  for *any* worker count and any request interleaving; service-backed
+  scores may differ from the legacy in-process path at the ulp level
+  (same order as the documented bucketed-vs-unbucketed deviation);
+- **fault containment** — clients never block forever: every queue wait is
+  bounded and re-checks the service heartbeat and pid, raising
+  :class:`ScoringServiceError` when the service died.  The runner converts
+  that into its existing blame-narrowing/degrade-to-serial recovery.
+
+Metrics: the service records its forwards into a
+:class:`~repro.eval.perf.PerfRecorder` carrying a
+:class:`~repro.obs.registry.MetricsRegistry` (``service/*`` namespace:
+batch-size histogram, queue-depth gauge, dispatch/request counters,
+service wall time); :meth:`ScoringService.stop` returns the snapshot and
+the runner folds it into the run's recorder through the same merge path
+worker snapshots use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.eval.perf import PerfRecorder
+from repro.nn.inference import softmax_np, stable_kernel_for
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "SCORING_SERVICE_ENV",
+    "ScoringService",
+    "ScoringServiceError",
+    "ServicePolicy",
+    "ServiceClient",
+    "ServiceScoreFn",
+    "SharedWeightArena",
+    "scoring_service_enabled",
+]
+
+#: env var turning the scoring service on for every runner-wired entry point
+SCORING_SERVICE_ENV = "REPRO_SCORING_SERVICE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def scoring_service_enabled() -> bool:
+    """Whether ``REPRO_SCORING_SERVICE`` asks for the scoring service."""
+    return os.environ.get(SCORING_SERVICE_ENV, "").strip().lower() in _TRUTHY
+
+
+class ScoringServiceError(RuntimeError):
+    """The scoring service is unavailable (dead, stale, or overloaded).
+
+    Raised client-side out of :class:`ServiceClient` waits; the parallel
+    runner treats it like a lost chunk (blame-narrowing retry, then
+    degrade-to-serial), and the serial path retries the document locally.
+    """
+
+
+@dataclass
+class ServicePolicy:
+    """Batching-window / backpressure / liveness knobs.
+
+    ``max_batch_docs`` caps the documents merged into one dispatch;
+    ``max_wait_seconds`` bounds how long the service holds the first
+    request of a window while waiting for more clients to chime in (it
+    never waits when every claimed client already has a request pending —
+    in particular a 1-client run dispatches immediately).
+    """
+
+    max_batch_docs: int = 512
+    max_wait_seconds: float = 0.002
+    #: bounded request-queue capacity — the backpressure valve
+    queue_size: int = 64
+    #: service idle-loop tick; also the heartbeat refresh period
+    heartbeat_interval: float = 0.05
+    #: client declares the service dead when its heartbeat is older than this
+    stale_after: float = 10.0
+    #: absolute client-side cap on one submit/collect wait
+    client_timeout: float = 120.0
+    #: client-side chunking of one ``_score_batch`` request (mirrors
+    #: ``predict_proba``'s batch_size)
+    batch_size: int = 128
+
+
+class SharedWeightArena:
+    """Move a model's parameters into one shared-memory block.
+
+    Construction copies every parameter array into a single
+    ``SharedMemory`` segment (64-byte-aligned offsets) and rebinds each
+    ``Parameter.data`` to a view of it; processes forked afterwards map
+    the same pages instead of carrying copy-on-write duplicates.
+    :meth:`release` restores the original arrays and unlinks the segment.
+
+    Values are copied bitwise, so forwards through arena-backed weights
+    are bitwise identical to forwards through the originals.  The arena
+    must not be active during training (in-place parameter updates would
+    write into the shared pages of every process).
+    """
+
+    _ALIGN = 64
+
+    def __init__(self, model) -> None:
+        self._model = model
+        named = model.named_parameters()
+        offsets: list[int] = []
+        total = 0
+        for _, p in named:
+            total = -(-total // self._ALIGN) * self._ALIGN
+            offsets.append(total)
+            total += p.data.nbytes
+        self.nbytes = total
+        self.shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        self._originals: list[tuple[object, np.ndarray]] = []
+        for (_, p), offset in zip(named, offsets):
+            view = np.ndarray(
+                p.data.shape, dtype=p.data.dtype, buffer=self.shm.buf, offset=offset
+            )
+            view[...] = p.data
+            self._originals.append((p, p.data))
+            p.data = view
+
+    @property
+    def n_params(self) -> int:
+        return len(self._originals)
+
+    def release(self) -> None:
+        """Rebind the original arrays and free the shared segment."""
+        for p, original in self._originals:
+            p.data = original
+        self._originals = []
+        # stable-operand caches may hold references into the segment
+        self._model.__dict__.pop("_stable_operand_cache", None)
+        try:
+            self.shm.close()
+        except BufferError:
+            # a stray view still aliases the buffer; unlink alone is enough —
+            # the pages are reclaimed when the last mapping drops
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+@dataclass
+class ServiceHandle:
+    """Everything a (forked) client needs to talk to the service."""
+
+    request_q: object
+    response_qs: tuple
+    slot_q: object
+    heartbeat: object
+    stop_flag: object
+    pid: int
+    policy: ServicePolicy
+
+
+class ServiceClient:
+    """Client side of the request/response plumbing (one per worker).
+
+    A client claims a *slot* (its response-queue index) on first use and
+    drains any stale responses left on it by a previous pool round.  All
+    waits are bounded and re-check service liveness, so a dead service
+    surfaces as :class:`ScoringServiceError` instead of a hang.
+    """
+
+    def __init__(self, handle: ServiceHandle) -> None:
+        self.handle = handle
+        self.slot: int | None = None
+        self._counter = 0
+        self._nonce = os.getpid()
+
+    # -- liveness ------------------------------------------------------------
+    def check_alive(self) -> None:
+        handle = self.handle
+        if handle.stop_flag.value:
+            raise ScoringServiceError("scoring service is shutting down")
+        age = time.time() - handle.heartbeat.value
+        if age > handle.policy.stale_after:
+            raise ScoringServiceError(
+                f"scoring service heartbeat is stale ({age:.1f}s old)"
+            )
+        try:
+            os.kill(handle.pid, 0)
+        except OSError:
+            raise ScoringServiceError("scoring service process is gone") from None
+
+    # -- slot lifecycle ------------------------------------------------------
+    def _ensure_slot(self) -> int:
+        if self.slot is None:
+            deadline = time.monotonic() + self.handle.policy.client_timeout
+            while True:
+                try:
+                    self.slot = self.handle.slot_q.get(timeout=0.1)
+                    break
+                except queue_mod.Empty:
+                    self.check_alive()
+                    if time.monotonic() > deadline:
+                        raise ScoringServiceError(
+                            "timed out claiming a scoring-service slot"
+                        ) from None
+            # drop responses addressed to this slot's previous owner
+            stale_q = self.handle.response_qs[self.slot]
+            while True:
+                try:
+                    stale_q.get_nowait()
+                except queue_mod.Empty:
+                    break
+        return self.slot
+
+    # -- request/response ----------------------------------------------------
+    def submit(self, token_ids: np.ndarray, mask: np.ndarray):
+        """Enqueue one encoded batch; returns an opaque sequence token."""
+        slot = self._ensure_slot()
+        self._counter += 1
+        seq = (self._nonce, self._counter)
+        deadline = time.monotonic() + self.handle.policy.client_timeout
+        while True:
+            try:
+                self.handle.request_q.put((slot, seq, token_ids, mask), timeout=0.1)
+                return seq
+            except queue_mod.Full:
+                # backpressure: the bounded queue is the service's intake
+                # valve; keep waiting as long as the service is alive
+                self.check_alive()
+                if time.monotonic() > deadline:
+                    raise ScoringServiceError(
+                        "scoring-service request queue stayed full past the "
+                        "client timeout"
+                    ) from None
+
+    def collect(self, seqs: list) -> dict:
+        """Wait for the responses to ``seqs``; ``{seq: probs}``."""
+        want = set(seqs)
+        got: dict = {}
+        response_q = self.handle.response_qs[self._ensure_slot()]
+        deadline = time.monotonic() + self.handle.policy.client_timeout
+        while want:
+            try:
+                seq, probs = response_q.get(timeout=0.1)
+            except queue_mod.Empty:
+                self.check_alive()
+                if time.monotonic() > deadline:
+                    raise ScoringServiceError(
+                        "timed out waiting for scoring-service responses"
+                    ) from None
+                continue
+            if seq not in want:
+                continue  # stale response from a previous slot owner
+            if probs is None:
+                raise ScoringServiceError(
+                    "scoring service reported a dispatch failure"
+                )
+            got[seq] = probs
+            want.discard(seq)
+        return got
+
+
+class ServiceScoreFn:
+    """A ``ScoreBatchFn``: routes deterministic scoring through the service.
+
+    Drop-in for ``model.predict_proba(docs)`` as used by
+    :meth:`repro.attacks.base.Attack._score_batch`: same length-bucketed
+    chunk structure (encode stays client-side and is recorded into the
+    client's perf recorder), but the forwards travel to the service where
+    they merge with other clients' batches.  Stochastic scoring (model in
+    training mode or with inference-time dropout) falls back to the local
+    path — its RNG streams live in this process and must stay here.
+    """
+
+    def __init__(self, handle: ServiceHandle, model) -> None:
+        self.client = ServiceClient(handle)
+        self.model = model
+
+    def __call__(self, docs) -> np.ndarray:
+        model = self.model
+        if model.training or getattr(model, "inference_dropout", 0.0):
+            return model.predict_proba(docs)
+        n = len(docs)
+        if n == 0:
+            return np.zeros((0, model.num_classes))
+        if model.bucketed_inference:
+            buckets = model._length_buckets(docs)
+        else:
+            buckets = iter([(list(range(n)), model.max_len)])
+        batch_size = self.client.handle.policy.batch_size
+        out = np.zeros((n, model.num_classes))
+        sent: list[tuple[object, list[int]]] = []
+        perf = getattr(model, "perf", None)
+        record_encode = getattr(perf, "record_encode", None) if perf else None
+        for indices, pad_len in buckets:
+            for start in range(0, len(indices), batch_size):
+                idx = indices[start : start + batch_size]
+                chunk = [docs[i] for i in idx]
+                tic = time.perf_counter()
+                ids, mask = model.vocab.encode_batch(chunk, pad_len)
+                if record_encode is not None:
+                    record_encode(len(idx), time.perf_counter() - tic)
+                sent.append((self.client.submit(ids, mask), idx))
+        responses = self.client.collect([seq for seq, _ in sent])
+        for seq, idx in sent:
+            out[idx] = responses[seq]
+        return out
+
+
+# ---------------------------------------------------------------------------
+# service process
+# ---------------------------------------------------------------------------
+
+def _stable_probs(model, token_ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Probabilities through the composition-stable kernel (rows >= 2).
+
+    Single-row batches route to gemv, whose bits never match gemm rows, so
+    a lone request is padded with a duplicate row before dispatch.
+    """
+    kernel = stable_kernel_for(model)
+    if token_ids.shape[0] == 1:
+        ids2 = np.concatenate([token_ids, token_ids])
+        mask2 = np.concatenate([mask, mask])
+        return softmax_np(kernel(model, ids2, mask2))[:1]
+    return softmax_np(kernel(model, token_ids, mask))
+
+
+def _service_main(model, handle: ServiceHandle, n_slots: int, control_q) -> None:
+    """Aggregation loop: drain → window → group by length → dispatch."""
+    policy = handle.policy
+    recorder = PerfRecorder(registry=MetricsRegistry())
+    registry = recorder.registry
+    started = time.perf_counter()
+    request_q = handle.request_q
+    pending: list[tuple] = []
+    while True:
+        handle.heartbeat.value = time.time()
+        if handle.stop_flag.value:
+            break
+        try:
+            first = request_q.get(timeout=policy.heartbeat_interval)
+        except queue_mod.Empty:
+            continue
+        pending.append(first)
+        n_docs = first[2].shape[0]
+        deadline = time.monotonic() + policy.max_wait_seconds
+        while n_docs < policy.max_batch_docs:
+            # every claimed client is synchronous (it waits for its
+            # responses before submitting again), so once one request per
+            # claimed slot is buffered nothing more can arrive this window
+            claimed = n_slots - handle.slot_q.qsize()
+            if len(pending) >= max(1, claimed):
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                req = request_q.get(timeout=remaining)
+            except queue_mod.Empty:
+                break
+            pending.append(req)
+            n_docs += req[2].shape[0]
+        registry.set_gauge("service/queue_depth", float(request_q.qsize()))
+        registry.inc("service/windows")
+        _dispatch(model, pending, handle.response_qs, recorder)
+        pending.clear()
+    registry.inc("service/wall_seconds", time.perf_counter() - started)
+    control_q.put(recorder.snapshot())
+
+
+def _dispatch(model, pending: list[tuple], response_qs, recorder: PerfRecorder) -> None:
+    """Merge the window's requests per padded length; one GEMM per group."""
+    registry = recorder.registry
+    groups: dict[int, list[tuple]] = {}
+    for req in pending:
+        groups.setdefault(req[2].shape[1], []).append(req)
+    for pad_len in sorted(groups):
+        reqs = groups[pad_len]
+        try:
+            ids = np.concatenate([r[2] for r in reqs])
+            mask = np.concatenate([r[3] for r in reqs])
+            tic = time.perf_counter()
+            probs = _stable_probs(model, ids, mask)
+            elapsed = time.perf_counter() - tic
+            recorder.record_forward(ids.shape[0], pad_len, elapsed)
+            registry.observe("service/batch_docs", float(ids.shape[0]))
+            registry.inc("service/dispatches")
+            registry.inc("service/merged_requests", len(reqs))
+            registry.inc("service/forward_seconds", elapsed)
+            offset = 0
+            for slot, seq, req_ids, _ in reqs:
+                n = req_ids.shape[0]
+                response_qs[slot].put((seq, probs[offset : offset + n]))
+                offset += n
+        except Exception:  # noqa: BLE001 - clients must not hang on a bad batch
+            registry.inc("service/dispatch_errors")
+            for slot, seq, _, _ in reqs:
+                response_qs[slot].put((seq, None))
+
+
+class ScoringService:
+    """Owner of the service process, the weight arena, and the queues.
+
+    Lifecycle (driven by :class:`~repro.eval.parallel.ParallelAttackRunner`):
+    ``start(n_clients)`` builds the arena, forks the service process and
+    seeds the slot queue; :meth:`handle` hands the plumbing to clients
+    (inherited through fork, never pickled); :meth:`refill_slots` resets
+    the slot queue between pool rounds (the previous round's workers are
+    gone, their slots come back); :meth:`stop` shuts the loop down,
+    returns the service's perf snapshot, and releases the arena.
+    """
+
+    def __init__(self, model, policy: ServicePolicy | None = None) -> None:
+        if stable_kernel_for(model) is None:
+            raise ScoringServiceError(
+                f"no composition-stable kernel registered for "
+                f"{type(model).__name__}; the scoring service cannot "
+                f"guarantee worker-count-invariant results for it"
+            )
+        self.model = model
+        self.policy = policy or ServicePolicy()
+        self._proc = None
+        self._arena: SharedWeightArena | None = None
+        self._handle: ServiceHandle | None = None
+        self._control_q = None
+        self._n_slots = 0
+
+    def start(self, n_clients: int) -> None:
+        if self._proc is not None:
+            raise ScoringServiceError("scoring service is already running")
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        ctx = multiprocessing.get_context("fork")
+        self._n_slots = n_clients
+        self._arena = SharedWeightArena(self.model)
+        request_q = ctx.Queue(maxsize=self.policy.queue_size)
+        response_qs = tuple(ctx.Queue() for _ in range(n_clients))
+        slot_q = ctx.Queue()
+        heartbeat = ctx.Value("d", time.time())
+        stop_flag = ctx.Value("i", 0)
+        self._control_q = ctx.Queue()
+        handle = ServiceHandle(
+            request_q=request_q,
+            response_qs=response_qs,
+            slot_q=slot_q,
+            heartbeat=heartbeat,
+            stop_flag=stop_flag,
+            pid=0,
+            policy=self.policy,
+        )
+        proc = ctx.Process(
+            target=_service_main,
+            args=(self.model, handle, n_clients, self._control_q),
+            daemon=True,
+            name="repro-scoring-service",
+        )
+        proc.start()
+        handle.pid = proc.pid
+        self._proc = proc
+        self._handle = handle
+        self.refill_slots()
+
+    def handle(self) -> ServiceHandle:
+        if self._handle is None:
+            raise ScoringServiceError("scoring service is not running")
+        return self._handle
+
+    @property
+    def pid(self) -> int | None:
+        return self._proc.pid if self._proc is not None else None
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def refill_slots(self) -> None:
+        """Reset the slot queue; call only when no client holds a slot."""
+        if self._handle is None:
+            return
+        slot_q = self._handle.slot_q
+        while True:
+            try:
+                slot_q.get_nowait()
+            except queue_mod.Empty:
+                break
+        for slot in range(self._n_slots):
+            slot_q.put(slot)
+
+    def stop(self) -> dict | None:
+        """Shut down; returns the service perf snapshot (None if it died)."""
+        snapshot = None
+        if self._proc is not None:
+            if self._handle is not None:
+                self._handle.stop_flag.value = 1
+            if self._proc.is_alive():
+                try:
+                    snapshot = self._control_q.get(timeout=10.0)
+                except queue_mod.Empty:
+                    snapshot = None
+            self._proc.join(timeout=5.0)
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=5.0)
+            self._proc = None
+        self._handle = None
+        self._control_q = None
+        if self._arena is not None:
+            self._arena.release()
+            self._arena = None
+        return snapshot

@@ -133,6 +133,7 @@ class ExperimentContext:
         progress=None,
         journal_dir: str | os.PathLike | None = None,
         trace_dir: str | os.PathLike | None = None,
+        scoring_service: bool | None = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         default_cache = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
@@ -163,6 +164,11 @@ class ExperimentContext:
         if trace_dir is None and env_trace:
             trace_dir = env_trace
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        #: route scoring forwards through the shared-memory scoring service
+        #: (repro.eval.scoring_service).  None defers to
+        #: REPRO_SCORING_SERVICE inside the runner, so the flag reaches
+        #: every driver without code changes.
+        self.scoring_service = scoring_service
         self._datasets: dict[str, TextDataset] = {}
         self._lexicons: dict[str, DomainLexicon] = {}
         self._vectors: dict[str, dict[str, np.ndarray]] = {}
@@ -407,6 +413,7 @@ class ExperimentContext:
             "progress": self.progress,
             "journal_path": self.journal_path(tag),
             "trace_dir": self.trace_path(tag),
+            "scoring_service": self.scoring_service,
         }
 
     def attack_runner(
@@ -414,11 +421,14 @@ class ExperimentContext:
         attack: Attack,
         n_workers: int | None = None,
         chunk_size: int | None = None,
+        scoring_service=None,
     ) -> ParallelAttackRunner:
         """A corpus runner for ``attack`` wired to this context's recorder.
 
         Worker precedence: explicit arg, then the context's ``n_workers``,
-        then ``REPRO_NUM_WORKERS``/CPU count inside the runner.
+        then ``REPRO_NUM_WORKERS``/CPU count inside the runner; the same
+        explicit-arg-then-context precedence applies to ``scoring_service``
+        (pass ``False`` to force the legacy path for one run).
         """
         return ParallelAttackRunner(
             attack,
@@ -426,4 +436,7 @@ class ExperimentContext:
             chunk_size=chunk_size,
             base_seed=self.settings.seed,
             perf=self.perf,
+            scoring_service=(
+                scoring_service if scoring_service is not None else self.scoring_service
+            ),
         )

@@ -6,6 +6,8 @@ because every document's attack is reseeded from the document index before
 it runs.
 """
 
+import os
+
 import pytest
 
 from repro.attacks import ObjectiveGreedyWordAttack, RandomWordAttack
@@ -50,7 +52,31 @@ class TestResolveNumWorkers:
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv(NUM_WORKERS_ENV, "3")
-        assert resolve_num_workers(None) == (3 if fork_available() else 1)
+        if not fork_available():
+            assert resolve_num_workers(None) == 1
+            return
+        cpus = os.cpu_count() or 1
+        if cpus >= 3:
+            assert resolve_num_workers(None) == 3
+        else:
+            with pytest.warns(RuntimeWarning, match="exceeds os.cpu_count"):
+                assert resolve_num_workers(None) == cpus
+
+    def test_env_clamped_to_cpu_count_with_warning(self, monkeypatch):
+        if not fork_available():
+            pytest.skip("fork unavailable; env resolves to 1 regardless")
+        cpus = os.cpu_count() or 1
+        monkeypatch.setenv(NUM_WORKERS_ENV, str(cpus + 7))
+        with pytest.warns(RuntimeWarning, match="exceeds os.cpu_count"):
+            assert resolve_num_workers(None) == cpus
+
+    def test_explicit_arg_is_never_clamped(self, monkeypatch):
+        # oversubscription on purpose stays allowed — only the env path,
+        # which silently applies to every run, is clamped
+        monkeypatch.delenv(NUM_WORKERS_ENV, raising=False)
+        cpus = os.cpu_count() or 1
+        expected = cpus + 3 if fork_available() else 1
+        assert resolve_num_workers(cpus + 3) == expected
 
     def test_default_is_at_least_one(self, monkeypatch):
         monkeypatch.delenv(NUM_WORKERS_ENV, raising=False)

@@ -1,0 +1,440 @@
+"""Tests for the shared-memory scoring service.
+
+The load-bearing contracts, in order of importance:
+
+1. *composition invariance*: the stable kernels produce bitwise-identical
+   rows for a document regardless of which batch-mates it was dispatched
+   with — the property that makes service-backed runs independent of the
+   worker count and of request-arrival timing;
+2. *runner parity*: a service-backed corpus run is bitwise identical at
+   1 and N workers, and matches the legacy in-process path to well past
+   the precision any result field is consumed at;
+3. *fault containment*: a service killed mid-run degrades to local
+   scoring via the runner's existing recovery machinery instead of
+   hanging clients, and the recovered results are identical to an
+   undisturbed run's.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.attacks import ObjectiveGreedyWordAttack, RandomWordAttack
+from repro.eval.parallel import ParallelAttackRunner, fork_available
+from repro.eval.scoring_service import (
+    SCORING_SERVICE_ENV,
+    ScoringService,
+    ScoringServiceError,
+    ServicePolicy,
+    ServiceScoreFn,
+    SharedWeightArena,
+    scoring_service_enabled,
+)
+from repro.nn.inference import stable_kernel_for
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable on this platform"
+)
+
+N_DOCS = 5
+
+
+@pytest.fixture()
+def corpus_slice(attackable_docs):
+    docs = [list(doc) for doc, _ in attackable_docs[:N_DOCS]]
+    targets = [target for _, target in attackable_docs[:N_DOCS]]
+    return docs, targets
+
+
+@pytest.fixture()
+def running_service(victim):
+    service = ScoringService(victim)
+    service.start(n_clients=3)
+    yield service
+    service.stop()
+
+
+def full_fingerprint(results):
+    """Every result field, wall time zeroed — the bitwise parity probe."""
+    out = []
+    for r in results:
+        d = r.to_dict()
+        d["wall_time"] = 0.0
+        out.append(d)
+    return out
+
+
+def rounded_fingerprint(results, digits=9):
+    def rnd(o):
+        if isinstance(o, float):
+            return round(o, digits)
+        if isinstance(o, dict):
+            return {k: rnd(v) for k, v in o.items()}
+        if isinstance(o, (list, tuple)):
+            return [rnd(v) for v in o]
+        return o
+
+    return [rnd(f) for f in full_fingerprint(results)]
+
+
+# ---------------------------------------------------------------------------
+# stable kernels
+# ---------------------------------------------------------------------------
+
+
+class TestStableKernels:
+    def test_victim_has_a_stable_kernel(self, victim):
+        assert stable_kernel_for(victim) is not None
+
+    def test_rows_are_composition_invariant(self, victim, attackable_docs):
+        """A document's probabilities must not depend on its batch-mates."""
+        kernel = stable_kernel_for(victim)
+        docs = [list(doc) for doc, _ in attackable_docs[:8]]
+        pad = max(len(d) for d in docs) + 4
+        ids, mask = victim.vocab.encode_batch(docs, pad)
+        whole = kernel(victim, ids, mask)
+        pairs = np.concatenate(
+            [kernel(victim, ids[i : i + 2], mask[i : i + 2]) for i in range(0, 8, 2)]
+        )
+        triples = np.concatenate(
+            [
+                kernel(victim, ids[:3], mask[:3]),
+                kernel(victim, ids[3:8], mask[3:8]),
+            ]
+        )
+        np.testing.assert_array_equal(whole, pairs)
+        np.testing.assert_array_equal(whole, triples)
+
+    def test_kernel_matches_predict_proba_closely(self, victim, attackable_docs):
+        """Stable-kernel scores sit within a few ulp of the legacy path."""
+        from repro.nn.inference import softmax_np
+
+        kernel = stable_kernel_for(victim)
+        docs = [list(doc) for doc, _ in attackable_docs[:6]]
+        pad = max(len(d) for d in docs) + 2
+        ids, mask = victim.vocab.encode_batch(docs, pad)
+        probs = softmax_np(kernel(victim, ids, mask))
+        # legacy path buckets/pads differently; parity is numerical, not bitwise
+        local = victim.predict_proba(docs)
+        np.testing.assert_allclose(probs, local, rtol=0, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory weight arena
+# ---------------------------------------------------------------------------
+
+
+class TestSharedWeightArena:
+    def test_adopt_and_release_preserve_bits(self, victim, attackable_docs):
+        docs = [list(doc) for doc, _ in attackable_docs[:4]]
+        before = victim.predict_proba(docs)
+        arena = SharedWeightArena(victim)
+        try:
+            assert arena.n_params == len(victim.named_parameters())
+            during = victim.predict_proba(docs)
+            np.testing.assert_array_equal(before, during)
+        finally:
+            arena.release()
+        after = victim.predict_proba(docs)
+        np.testing.assert_array_equal(before, after)
+
+    def test_parameters_are_shared_memory_views(self, victim):
+        arena = SharedWeightArena(victim)
+        try:
+            for _, p in victim.named_parameters():
+                assert p.data.base is not None  # a view, not an owned copy
+        finally:
+            arena.release()
+        for _, p in victim.named_parameters():
+            assert isinstance(p.data, np.ndarray)
+
+    def test_release_is_idempotent_enough(self, victim):
+        arena = SharedWeightArena(victim)
+        arena.release()
+        # releasing twice must not blow up (stop() paths can race teardown)
+        arena.release()
+
+
+# ---------------------------------------------------------------------------
+# service process: scoring + batching + backpressure
+# ---------------------------------------------------------------------------
+
+
+class TestServiceScoring:
+    def test_service_matches_local_scores(self, victim, running_service, corpus_slice):
+        docs, _ = corpus_slice
+        fn = ServiceScoreFn(running_service.handle(), victim)
+        service_probs = fn(docs)
+        local = victim.predict_proba(docs)
+        np.testing.assert_allclose(service_probs, local, rtol=0, atol=1e-12)
+
+    def test_service_scores_are_composition_invariant(
+        self, victim, running_service, corpus_slice
+    ):
+        docs, _ = corpus_slice
+        fn = ServiceScoreFn(running_service.handle(), victim)
+        whole = fn(docs)
+        singles = np.concatenate([fn([d]) for d in docs])
+        np.testing.assert_array_equal(whole, singles)
+
+    def test_empty_batch(self, victim, running_service):
+        fn = ServiceScoreFn(running_service.handle(), victim)
+        out = fn([])
+        assert out.shape == (0, victim.num_classes)
+
+    def test_backpressure_with_tiny_queue(self, victim, corpus_slice):
+        """A queue_size-1 service still completes (clients block, not fail)."""
+        docs, _ = corpus_slice
+        service = ScoringService(
+            victim, ServicePolicy(queue_size=1, batch_size=2)
+        )
+        service.start(n_clients=1)
+        try:
+            fn = ServiceScoreFn(service.handle(), victim)
+            probs = fn(docs * 3)
+            np.testing.assert_allclose(
+                probs, victim.predict_proba(docs * 3), rtol=0, atol=1e-12
+            )
+        finally:
+            service.stop()
+
+    def test_stop_returns_service_metrics_snapshot(self, victim, corpus_slice):
+        docs, _ = corpus_slice
+        service = ScoringService(victim)
+        service.start(n_clients=1)
+        fn = ServiceScoreFn(service.handle(), victim)
+        fn(docs)
+        snapshot = service.stop()
+        counters = snapshot["registry"]["counters"]
+        assert counters["service/dispatches"] >= 1
+        assert counters["service/merged_requests"] >= 1
+        assert counters["service/windows"] >= 1
+        assert counters["service/wall_seconds"] > 0
+        assert "service/batch_docs" in snapshot["registry"]["histograms"]
+
+    def test_rejects_model_without_stable_kernel(self):
+        class NotAModel:
+            pass
+
+        with pytest.raises(ScoringServiceError, match="no composition-stable"):
+            ScoringService(NotAModel())
+
+    def test_stochastic_models_fall_back_to_local_path(self, victim, corpus_slice):
+        docs, _ = corpus_slice
+        victim.train()
+        try:
+            # handle is never touched on the stochastic path
+            fn = ServiceScoreFn(None, victim)
+            probs = fn(docs[:2])
+        finally:
+            victim.eval()
+        assert probs.shape == (2, victim.num_classes)
+
+
+class TestServiceLiveness:
+    def test_dead_service_raises_instead_of_hanging(self, victim, corpus_slice):
+        docs, _ = corpus_slice
+        service = ScoringService(victim, ServicePolicy(stale_after=0.5))
+        service.start(n_clients=1)
+        try:
+            fn = ServiceScoreFn(service.handle(), victim)
+            fn(docs[:1])  # claim a slot while healthy
+            os.kill(service.pid, signal.SIGKILL)
+            with pytest.raises(ScoringServiceError):
+                fn(docs)
+        finally:
+            service.stop()
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv(SCORING_SERVICE_ENV, raising=False)
+        assert not scoring_service_enabled()
+        for value in ("1", "true", "YES", "on"):
+            monkeypatch.setenv(SCORING_SERVICE_ENV, value)
+            assert scoring_service_enabled()
+        for value in ("0", "false", "", "off"):
+            monkeypatch.setenv(SCORING_SERVICE_ENV, value)
+            assert not scoring_service_enabled()
+
+    def test_runner_resolves_service_from_env(self, victim, word_paraphraser, monkeypatch):
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        monkeypatch.setenv(SCORING_SERVICE_ENV, "1")
+        runner = ParallelAttackRunner(attack, n_workers=1)
+        assert isinstance(runner._resolve_service(), ScoringService)
+        monkeypatch.setenv(SCORING_SERVICE_ENV, "0")
+        assert runner._resolve_service() is None
+        # explicit False wins over the env
+        monkeypatch.setenv(SCORING_SERVICE_ENV, "1")
+        runner = ParallelAttackRunner(attack, n_workers=1, scoring_service=False)
+        assert runner._resolve_service() is None
+
+
+# ---------------------------------------------------------------------------
+# runner parity
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerParity:
+    def test_serial_service_matches_legacy_to_rounding(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        legacy = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=False
+        ).run(docs, targets)
+        service = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=True
+        ).run(docs, targets)
+        assert rounded_fingerprint(service) == rounded_fingerprint(legacy)
+
+    @needs_fork
+    def test_service_is_bitwise_invariant_in_worker_count(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        one = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=True
+        ).run(docs, targets)
+        two = ParallelAttackRunner(
+            attack, n_workers=2, base_seed=0, scoring_service=True
+        ).run(docs, targets)
+        assert full_fingerprint(one) == full_fingerprint(two)
+
+    @needs_fork
+    def test_stochastic_attack_service_parity(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        docs, targets = corpus_slice
+        attack = RandomWordAttack(victim, word_paraphraser, 0.3, seed=7)
+        one = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=3, scoring_service=True
+        ).run(docs, targets)
+        two = ParallelAttackRunner(
+            attack, n_workers=2, base_seed=3, chunk_size=1, scoring_service=True
+        ).run(docs, targets)
+        assert full_fingerprint(one) == full_fingerprint(two)
+
+    def test_service_metrics_merge_into_runner_perf(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        from repro.eval.perf import PerfRecorder
+        from repro.obs.registry import MetricsRegistry
+
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        perf = PerfRecorder(registry=MetricsRegistry())
+        ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, perf=perf, scoring_service=True
+        ).run(docs[:2], targets[:2])
+        counters = perf.registry.snapshot()["counters"]
+        assert counters["service/dispatches"] >= 1
+        assert counters["service/wall_seconds"] > 0
+
+    def test_score_fn_is_detached_after_the_run(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=True
+        ).run(docs[:1], targets[:1])
+        assert attack.score_fn is None
+
+
+# ---------------------------------------------------------------------------
+# fault paths
+# ---------------------------------------------------------------------------
+
+
+class TestServiceFaults:
+    def test_serial_run_survives_service_killed_mid_run(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        """Killing the service between documents degrades to local scoring
+        with results identical to an undisturbed run."""
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        expected = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=False
+        ).run(docs, targets)
+
+        service = ScoringService(victim, ServicePolicy(stale_after=1.0))
+        killed = []
+
+        def kill_service(idx, outcome):
+            if not killed and service.pid is not None:
+                os.kill(service.pid, signal.SIGKILL)
+                killed.append(idx)
+
+        runner = ParallelAttackRunner(
+            attack,
+            n_workers=1,
+            base_seed=0,
+            on_result=kill_service,
+            scoring_service=service,
+        )
+        outcomes = runner.run(docs, targets)
+        assert killed, "the kill hook never fired"
+        assert all(not isinstance(o, Exception) for o in outcomes)
+        # every document after the kill was retried locally; the reseeding
+        # makes the redo deterministic, so results match the legacy run to
+        # rounding (pre-kill documents scored through the service)
+        assert rounded_fingerprint(outcomes) == rounded_fingerprint(expected)
+        assert attack.score_fn is None
+
+    @needs_fork
+    def test_pool_run_survives_service_killed_mid_run(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        from repro.attacks.base import AttackResult
+
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        expected = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=False
+        ).run(docs, targets)
+
+        service = ScoringService(victim, ServicePolicy(stale_after=1.0))
+        killed = []
+
+        def kill_service(idx, outcome):
+            if not killed and service.pid is not None:
+                os.kill(service.pid, signal.SIGKILL)
+                killed.append(idx)
+
+        runner = ParallelAttackRunner(
+            attack,
+            n_workers=2,
+            base_seed=0,
+            chunk_size=1,
+            on_result=kill_service,
+            scoring_service=service,
+        )
+        outcomes = runner.run(docs, targets)
+        assert killed, "the kill hook never fired"
+        assert all(isinstance(o, AttackResult) for o in outcomes)
+        assert rounded_fingerprint(outcomes) == rounded_fingerprint(expected)
+
+    def test_failed_service_start_degrades_to_legacy(
+        self, victim, word_paraphraser, corpus_slice, monkeypatch
+    ):
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        expected = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=False
+        ).run(docs[:2], targets[:2])
+
+        service = ScoringService(victim)
+
+        def boom(n_clients):
+            raise OSError("no shared memory for you")
+
+        monkeypatch.setattr(service, "start", boom)
+        with pytest.warns(RuntimeWarning, match="failed to start"):
+            outcomes = ParallelAttackRunner(
+                attack, n_workers=1, base_seed=0, scoring_service=service
+            ).run(docs[:2], targets[:2])
+        assert full_fingerprint(outcomes) == full_fingerprint(expected)
