@@ -31,6 +31,12 @@ trajectory:
    (``tests/eval/test_bench_scaling.py``) only requires pooled ≥ serial
    when the recorded CPU count can deliver it.  Results must be identical
    to the serial run in every configuration.
+5. **Incremental delta scoring** — the same fast joint greedy attack with
+   :class:`~repro.nn.delta.DeltaScoreFn` installed: single-edit
+   candidates are scored through the windowed-conv delta kernel instead
+   of full forwards.  The acceptance bar is a ≥2× further reduction in
+   forward FLOP-equivalents (conv-window units) over the CELF fast
+   configuration, at byte-identical adversarial documents and success.
 """
 
 import os
@@ -42,6 +48,7 @@ import numpy as np
 from benchmarks.conftest import run_once
 from repro.eval.parallel import fork_available
 from repro.eval.perf import PerfRecorder, write_bench_json
+from repro.nn.delta import DeltaScoreFn
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "BENCH_inference.json"
@@ -234,9 +241,50 @@ def test_inference_perf(benchmark, ctx):
                     N_DOCS / elapsed,
                     "docs/s",
                 )
-        return metrics, naive, fast, reduction, fused_speedup, wall_speedup
+        # -- part 4: incremental delta scoring on the fast joint greedy ------
+        # same fast configuration, but single-edit candidates go through
+        # the windowed-conv delta kernel; the reduction is measured in
+        # forward FLOP-equivalents (conv-window units), the quantity the
+        # kernel actually saves, independent of interpreter overhead
+        delta_fn = DeltaScoreFn.for_model(wcnn)
+        assert delta_fn is not None
+        attack_delta = ctx.make_attack(
+            "joint-greedy", wcnn, DATASET, strategy="lazy", use_cache=True
+        )
+        prev_fused = wcnn.fused_inference
+        wcnn.fused_inference = True
+        attack_delta.set_score_fn(delta_fn)
+        try:
+            start = time.perf_counter()
+            delta_results = [
+                attack_delta.attack(d, t) for d, t in zip(attack_docs, targets)
+            ]
+            delta_seconds = time.perf_counter() - start
+        finally:
+            attack_delta.set_score_fn(None)
+            wcnn.fused_inference = prev_fused
+        assert [tuple(r.adversarial) for r in delta_results] == fast["adversarial"], (
+            "delta scoring must not change a single adversarial document"
+        )
+        assert sum(r.success for r in delta_results) == fast["successes"]
+        assert sum(r.n_queries for r in delta_results) == fast["queries"]
+        stats = delta_fn.stats
+        delta_reduction = delta_fn.forward_reduction()
+        # fraction of per-candidate window work served from the cached
+        # prefix/suffix pooled maxima instead of recomputed
+        suffix_fraction = 1.0 - stats["delta_units"] / max(
+            stats["delta_units_full"], 1e-12
+        )
+        metrics["delta_forward_reduction"] = (delta_reduction, "x")
+        metrics["delta_suffix_fraction"] = (suffix_fraction, "fraction")
+        metrics["delta_candidates"] = (stats["delta_candidates"], "candidates")
+        metrics["delta_state_builds"] = (stats["state_builds"], "builds")
+        metrics["delta_seconds"] = (delta_seconds, "s")
+        metrics["delta_wall_speedup"] = (fast["seconds"] / delta_seconds, "x")
 
-    metrics, naive, fast, reduction, fused_speedup, wall_speedup = run_once(
+        return metrics, naive, fast, reduction, fused_speedup, wall_speedup, delta_reduction
+
+    metrics, naive, fast, reduction, fused_speedup, wall_speedup, delta_reduction = run_once(
         benchmark, run
     )
     payload = write_bench_json(BENCH_PATH, metrics)
@@ -266,4 +314,8 @@ def test_inference_perf(benchmark, ctx):
     assert fused_speedup > 1.05, (
         f"fused kernels must beat the autograd reference on candidate "
         f"batches (got {fused_speedup:.2f}x)"
+    )
+    assert delta_reduction >= 2.0, (
+        f"delta scoring must at least halve forward FLOP-equivalents over "
+        f"the CELF fast configuration (got {delta_reduction:.2f}x)"
     )

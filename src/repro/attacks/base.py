@@ -278,27 +278,58 @@ class Attack:
         return not getattr(self.model, "inference_dropout", 0.0)
 
     # -- model access with query accounting --------------------------------
-    def _predict_proba(self, docs: list[list[str]]) -> np.ndarray:
-        """Scoring forward: the attached ``score_fn``, else the local model."""
-        if self.score_fn is not None:
-            return self.score_fn(docs)
+    def _predict_proba(
+        self, docs: list[list[str]], base: list[str] | None = None
+    ) -> np.ndarray:
+        """Scoring forward: the attached ``score_fn``, else the local model.
+
+        ``base`` is the incumbent document the candidates are single-edit
+        variants of; it is forwarded only to score functions advertising
+        ``accepts_base`` (the delta scorer, the delta-aware service client),
+        which use it to score candidates incrementally.  Plain score
+        functions and the local model ignore it.
+        """
+        fn = self.score_fn
+        if fn is not None:
+            if base is not None and getattr(fn, "accepts_base", False):
+                return fn(docs, base=base)
+            return fn(docs)
         return self.model.predict_proba(docs)
 
-    def _score_batch(self, docs: list[list[str]], target_label: int) -> list[float]:
-        """``C_y`` for a batch of candidate documents (deduped + memoized)."""
+    def _delta_trace_fields(self) -> dict:
+        """Extra ``forward``-event fields from a delta-aware score function."""
+        pop = getattr(self.score_fn, "pop_stats", None)
+        if pop is None:
+            return {}
+        return pop() or {}
+
+    def _score_batch(
+        self,
+        docs: list[list[str]],
+        target_label: int,
+        base: list[str] | None = None,
+    ) -> list[float]:
+        """``C_y`` for a batch of candidate documents (deduped + memoized).
+
+        ``base`` (optional) is the incumbent the candidates were derived
+        from; see :meth:`_predict_proba`.  Delta-scored candidates still
+        count as paid forwards in ``n_queries`` — incremental evaluation
+        changes what a query *costs*, not how many are accounted.
+        """
         if not docs:
             return []
         cache = self._cache
         if cache is None:
             self._queries += len(docs)
             with self._span("forward"):
-                probs = self._predict_proba(docs)
+                probs = self._predict_proba(docs, base=base)
             self._trace_event(
                 "forward",
                 op="score",
                 n_docs=len(docs),
                 n_forwards=len(docs),
                 n_cache_hits=0,
+                **self._delta_trace_fields(),
             )
             return probs[:, target_label].tolist()
         # order-preserving dedup of the request, then forward only misses
@@ -313,9 +344,11 @@ class Attack:
                 missing.append(key)
             else:
                 scores[key] = cached
+        delta_fields: dict = {}
         if missing:
             with self._span("forward"):
-                probs = self._predict_proba([unique[key] for key in missing])
+                probs = self._predict_proba([unique[key] for key in missing], base=base)
+            delta_fields = self._delta_trace_fields()
             self._queries += len(missing)
             for key, p in zip(missing, probs[:, target_label].tolist()):
                 cache.put(key, p)
@@ -328,6 +361,7 @@ class Attack:
             n_docs=len(docs),
             n_forwards=len(missing),
             n_cache_hits=served,
+            **delta_fields,
         )
         if served:
             self._trace_event("cache_hit", n_hits=served)

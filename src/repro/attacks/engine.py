@@ -77,9 +77,19 @@ class AttackEngine(Attack):
         """``C_y`` of one document, through the scoring choke point."""
         return self._score(tokens, target_label)
 
-    def score_batch(self, docs: list[list[str]], target_label: int) -> list[float]:
-        """``C_y`` for a batch — deduped, cached, counted, traced."""
-        return self._score_batch(docs, target_label)
+    def score_batch(
+        self,
+        docs: list[list[str]],
+        target_label: int,
+        base: list[str] | None = None,
+    ) -> list[float]:
+        """``C_y`` for a batch — deduped, cached, counted, traced.
+
+        Search strategies pass ``base`` (the incumbent the candidates are
+        edits of) so a delta-aware score function can evaluate single-edit
+        candidates incrementally instead of with full forwards.
+        """
+        return self._score_batch(docs, target_label, base=base)
 
     def gradient(self, tokens: list[str], target_label: int):
         """Embedding gradient of ``C_y`` — one counted, traced forward."""

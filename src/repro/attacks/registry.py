@@ -40,6 +40,22 @@ class AttackSpec:
     (``"word"`` / ``"sentence"``); ``params`` the constructor keywords it
     forwards.  Callers like :meth:`ExperimentContext.make_attack` use both
     to assemble arguments declaratively instead of per-attack branches.
+
+    ``delta`` declares how this source × strategy combination benefits from
+    incremental delta scoring (``REPRO_DELTA_SCORING``, :mod:`repro.nn.delta`):
+
+    - ``"yes"`` — candidate scoring is single-edit against an incumbent
+      base, so the whole search runs incrementally;
+    - ``"word-stage"`` — staged pipeline whose word stage is delta-scored
+      while length-changing sentence candidates take full forwards;
+    - ``"equal-len"`` — delta applies only when a candidate happens to
+      keep the token count (rare for sentence paraphrases);
+    - ``"no"`` — the strategy does no candidate scoring (first-order,
+      random), so there is nothing to score incrementally.
+
+    Enabling delta scoring is always safe regardless of this value — the
+    score function falls back to full forwards per candidate; the field
+    is advisory (surfaced by the ``list-attacks`` CLI).
     """
 
     name: str
@@ -50,6 +66,7 @@ class AttackSpec:
     builder: Callable[..., Attack]
     needs: tuple[str, ...] = ("word",)
     params: tuple[str, ...] = field(default_factory=tuple)
+    delta: str = "no"  # delta-scoring eligibility: yes | word-stage | equal-len | no
 
 
 # -- builders (module-level for picklability) -------------------------------
@@ -112,6 +129,7 @@ ATTACKS: dict[str, AttackSpec] = {
         builder=_build_greedy_word,
         needs=("word",),
         params=_COMMON + ("strategy",),
+        delta="yes",
     ),
     "lazy_greedy_word": AttackSpec(
         name="lazy_greedy_word",
@@ -122,6 +140,7 @@ ATTACKS: dict[str, AttackSpec] = {
         builder=_build_lazy_greedy_word,
         needs=("word",),
         params=_COMMON,
+        delta="yes",
     ),
     "greedy_sentence": AttackSpec(
         name="greedy_sentence",
@@ -132,6 +151,7 @@ ATTACKS: dict[str, AttackSpec] = {
         builder=_build_greedy_sentence,
         needs=("sentence",),
         params=("sentence_budget_ratio", "tau", "strategy", "use_cache", "cache_max_entries"),
+        delta="equal-len",
     ),
     "gradient_guided": AttackSpec(
         name="gradient_guided",
@@ -142,6 +162,7 @@ ATTACKS: dict[str, AttackSpec] = {
         builder=_build_gradient_guided,
         needs=("word",),
         params=_COMMON + ("words_per_iteration", "selection"),
+        delta="yes",
     ),
     "gradient_word": AttackSpec(
         name="gradient_word",
@@ -152,6 +173,7 @@ ATTACKS: dict[str, AttackSpec] = {
         builder=_build_gradient_word,
         needs=("word",),
         params=("word_budget_ratio", "iterations"),
+        delta="no",
     ),
     "random_word": AttackSpec(
         name="random_word",
@@ -162,6 +184,7 @@ ATTACKS: dict[str, AttackSpec] = {
         builder=_build_random_word,
         needs=("word",),
         params=("word_budget_ratio", "seed"),
+        delta="no",
     ),
     "beam_word": AttackSpec(
         name="beam_word",
@@ -172,6 +195,7 @@ ATTACKS: dict[str, AttackSpec] = {
         builder=_build_beam_word,
         needs=("word",),
         params=_COMMON + ("beam_width",),
+        delta="yes",
     ),
     "charflip_greedy": AttackSpec(
         name="charflip_greedy",
@@ -182,6 +206,7 @@ ATTACKS: dict[str, AttackSpec] = {
         builder=_build_charflip_greedy,
         needs=(),
         params=("word_budget_ratio", "tau", "strategy", "use_cache", "cache_max_entries"),
+        delta="yes",
     ),
     "joint": AttackSpec(
         name="joint",
@@ -200,6 +225,7 @@ ATTACKS: dict[str, AttackSpec] = {
             "use_cache",
             "cache_max_entries",
         ),
+        delta="word-stage",
     ),
     "joint_greedy": AttackSpec(
         name="joint_greedy",
@@ -217,6 +243,7 @@ ATTACKS: dict[str, AttackSpec] = {
             "use_cache",
             "cache_max_entries",
         ),
+        delta="word-stage",
     ),
 }
 

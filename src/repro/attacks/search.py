@@ -104,7 +104,9 @@ class GreedySearch(SearchStrategy):
             states = [proposal.apply(state, j, move) for j, move in moves]
             candidates = [proposal.tokens(s) for s in states]
             with engine.span("greedy-select"):
-                scores = engine.score_batch(candidates, target_label)
+                scores = engine.score_batch(
+                    candidates, target_label, base=proposal.tokens(state)
+                )
                 best = max(range(len(scores)), key=scores.__getitem__)
             if scores[best] <= score + 1e-12:
                 break
@@ -171,6 +173,7 @@ class LazyGreedySearch(SearchStrategy):
                     for i in admissible
                 ],
                 target_label,
+                base=proposal.tokens(state),
             )
             heap = LazyMarginalHeap()
             heap.push_all((i, s - score) for i, s in zip(admissible, scores))
@@ -196,7 +199,12 @@ class LazyGreedySearch(SearchStrategy):
                 ):
                     return None  # position consumed / move already applied
                 candidate = proposal.tokens(proposal.apply(state, j, move))
-                return engine.score_batch([candidate], target_label)[0] - score
+                return (
+                    engine.score_batch(
+                        [candidate], target_label, base=proposal.tokens(state)
+                    )[0]
+                    - score
+                )
 
             with engine.span("greedy-select"):
                 n_candidates = len(heap)
@@ -275,7 +283,11 @@ class BeamSearch(SearchStrategy):
                 break
             docs = [proposal.tokens(proposal.apply_many(origin, subs)) for subs in candidates]
             with engine.span("greedy-select"):
-                scores = engine.score_batch(docs, target_label)
+                # multi-position beam candidates still share one origin: a
+                # delta scorer sees one (possibly wide) edit span per doc
+                scores = engine.score_batch(
+                    docs, target_label, base=proposal.tokens(origin)
+                )
                 ranked = sorted(zip(scores, candidates), key=lambda sc: -sc[0])
             beam = [(s, c) for s, c in ranked[: self.beam_width]]
             if beam[0][0] <= best_score + 1e-12:
@@ -468,7 +480,9 @@ class GaussSouthwellSearch(SearchStrategy):
             candidates = [proposal.apply_many(current, subs) for subs in frontier]
             with engine.span("greedy-select"):
                 scores = engine.score_batch(
-                    [proposal.tokens(c) for c in candidates], target_label
+                    [proposal.tokens(c) for c in candidates],
+                    target_label,
+                    base=proposal.tokens(current),
                 )
                 best = max(range(len(scores)), key=scores.__getitem__)
             if scores[best] <= score + 1e-12:
@@ -522,7 +536,9 @@ class GaussSouthwellSearch(SearchStrategy):
                 break
             trial = {p: w for p, w in kept.items() if p != pos}
             score = engine.score_batch(
-                [apply_word_substitutions(current, trial)], target_label
+                [apply_word_substitutions(current, trial)],
+                target_label,
+                base=list(current),
             )[0]
             if score >= best_score - 1e-12:
                 kept = trial

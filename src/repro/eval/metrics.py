@@ -105,6 +105,7 @@ def evaluate_attack(
     trace_dir: str | os.PathLike | None = None,
     trace_every_n: int | None = None,
     scoring_service=None,
+    delta_scoring: bool | None = None,
 ) -> AttackEvaluation:
     """Attack every correctly-classified example and aggregate the outcome.
 
@@ -130,6 +131,10 @@ def evaluate_attack(
     ``scoring_service`` routes scoring forwards through the shared
     scoring service (see :class:`~repro.eval.parallel.ParallelAttackRunner`);
     ``None`` defers to ``REPRO_SCORING_SERVICE``.
+
+    ``delta_scoring`` scores single-edit candidates incrementally
+    (:mod:`repro.nn.delta`; bitwise identical results); ``None`` defers
+    to ``REPRO_DELTA_SCORING``.
     """
     if not examples:
         raise ValueError("cannot evaluate an attack on zero examples")
@@ -222,6 +227,7 @@ def evaluate_attack(
                 base_seed=seed,
                 on_result=on_result,
                 scoring_service=scoring_service,
+                delta_scoring=delta_scoring,
             )
             outcomes = runner.run(
                 [doc for _, _, doc, _ in todo],

@@ -58,6 +58,15 @@ processes:
   identical for any worker count; a service that dies mid-run degrades
   through the same blame-narrowing recovery as a worker crash.
 
+- **incremental delta scoring** — with ``REPRO_DELTA_SCORING=1`` (or
+  ``delta_scoring=True``) each worker scores single-edit candidates
+  incrementally (:mod:`repro.nn.delta`): recurrent victims re-run only
+  the suffix after the edit from a cached prefix state, the WCNN
+  recomputes only the conv windows overlapping the edit.  Delta scoring
+  composes with the scoring service (the base document rides along with
+  each request and rows are delta-scored server-side) and is bitwise
+  identical to full scoring at any worker count.
+
 ``REPRO_NUM_WORKERS`` overrides the worker count everywhere the runner is
 wired in (``evaluate_attack``, the table drivers, the perf benchmark);
 unset, the runner defaults to ``os.cpu_count()``.  An unparseable or
@@ -87,6 +96,7 @@ from repro.eval.scoring_service import (
     ServiceScoreFn,
     scoring_service_enabled,
 )
+from repro.nn.delta import DeltaScoreFn, delta_scoring_enabled
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
@@ -211,12 +221,22 @@ _WORKER: dict = {}
 
 
 def _init_worker(
-    attack: Attack, base_seed: int, track_perf: bool, service_handle=None
+    attack: Attack,
+    base_seed: int,
+    track_perf: bool,
+    service_handle=None,
+    delta_scoring: bool = False,
 ) -> None:
     _WORKER["attack"] = attack
     _WORKER["base_seed"] = base_seed
     if service_handle is not None:
-        attack.set_score_fn(ServiceScoreFn(service_handle, attack.model))
+        attack.set_score_fn(
+            ServiceScoreFn(service_handle, attack.model, delta=delta_scoring)
+        )
+    elif delta_scoring:
+        # for_model returns None when the model has no delta kernel, which
+        # set_score_fn treats as the legacy in-process path
+        attack.set_score_fn(DeltaScoreFn.for_model(attack.model))
     else:
         # detach any fork-copied score_fn: its client plumbing belongs to
         # another process/round
@@ -327,6 +347,13 @@ class ParallelAttackRunner:
         dies mid-run is detected via heartbeat/liveness checks and the
         affected chunks retry through the normal crash-recovery path
         without it.
+    delta_scoring:
+        Scores single-edit candidates incrementally (:mod:`repro.nn.delta`):
+        in-process runs install a :class:`~repro.nn.delta.DeltaScoreFn`
+        per worker, service-backed runs send each request's base document
+        so the service can delta-score rows server-side.  Results are
+        bitwise identical with the flag on or off.  The default of
+        ``None`` defers to ``REPRO_DELTA_SCORING``.
     """
 
     def __init__(
@@ -339,6 +366,7 @@ class ParallelAttackRunner:
         fault_policy: RunnerFaultPolicy | None = None,
         on_result: Callable[[int, AttackResult | AttackFailure], None] | None = None,
         scoring_service: "ScoringService | bool | None" = None,
+        delta_scoring: bool | None = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -350,7 +378,13 @@ class ParallelAttackRunner:
         self.fault_policy = fault_policy or RunnerFaultPolicy()
         self.on_result = on_result
         self.scoring_service = scoring_service
+        self.delta_scoring = delta_scoring
         self._service: ScoringService | None = None
+
+    def _resolve_delta(self) -> bool:
+        if self.delta_scoring is None:
+            return delta_scoring_enabled()
+        return bool(self.delta_scoring)
 
     def _resolve_service(self) -> "ScoringService | None":
         spec = self.scoring_service
@@ -483,15 +517,22 @@ class ParallelAttackRunner:
             outcomes = {}
         attack = self.attack
         service = self._service
+        delta = self._resolve_delta()
         if service is not None and service.alive():
             service.refill_slots()
-            attack.set_score_fn(ServiceScoreFn(service.handle(), attack.model))
+            attack.set_score_fn(
+                ServiceScoreFn(service.handle(), attack.model, delta=delta)
+            )
+        elif delta:
+            attack.set_score_fn(DeltaScoreFn.for_model(attack.model))
         try:
             for idx, doc, target in items:
                 try:
                     outcome = _attack_one(attack, idx, doc, target, self.base_seed)
                 except ScoringServiceError:
-                    attack.set_score_fn(None)
+                    attack.set_score_fn(
+                        DeltaScoreFn.for_model(attack.model) if delta else None
+                    )
                     outcome = _attack_one(attack, idx, doc, target, self.base_seed)
                 outcomes[idx] = outcome
                 self._emit(idx, outcome)
@@ -574,7 +615,13 @@ class ParallelAttackRunner:
             max_workers=n_workers,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(self.attack, self.base_seed, track_perf, service_handle),
+            initargs=(
+                self.attack,
+                self.base_seed,
+                track_perf,
+                service_handle,
+                self._resolve_delta(),
+            ),
         )
         try:
             futures = {}

@@ -28,6 +28,16 @@ scoring forwards of a corpus run in one **service process**:
   for *any* worker count and any request interleaving; service-backed
   scores may differ from the legacy in-process path at the ulp level
   (same order as the documented bucketed-vs-unbucketed deviation);
+- **delta-aware requests** — a request may carry its *base* document
+  (one encoded row): when the model has a delta kernel
+  (:mod:`repro.nn.delta`) the service keeps a small LRU of base states
+  and scores single-edit rows incrementally — suffix-only recurrence for
+  LSTM/GRU, affected-windows-only recompute for the WCNN — while
+  ineligible rows join the merged full GEMM.  Responses are bitwise
+  identical with or without a base (delta rows reproduce the stable
+  forward bit for bit), so delta scoring only changes cost, never
+  results; with no base state resident the service simply builds one or
+  falls back to full forwards;
 - **fault containment** — clients never block forever: every queue wait is
   bounded and re-checks the service heartbeat and pid, raising
   :class:`ScoringServiceError` when the service died.  The runner converts
@@ -48,12 +58,14 @@ import multiprocessing
 import os
 import queue as queue_mod
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.eval.perf import PerfRecorder
+from repro.nn.delta import delta_kernel_for
 from repro.nn.inference import softmax_np, stable_kernel_for
 from repro.obs.registry import MetricsRegistry
 
@@ -241,15 +253,30 @@ class ServiceClient:
         return self.slot
 
     # -- request/response ----------------------------------------------------
-    def submit(self, token_ids: np.ndarray, mask: np.ndarray):
-        """Enqueue one encoded batch; returns an opaque sequence token."""
+    def submit(
+        self,
+        token_ids: np.ndarray,
+        mask: np.ndarray,
+        base_ids: np.ndarray | None = None,
+        base_mask: np.ndarray | None = None,
+    ):
+        """Enqueue one encoded batch; returns an opaque sequence token.
+
+        ``base_ids``/``base_mask`` (one encoded document at the batch's pad
+        length) mark the batch as single-edit candidates against that base:
+        the service delta-scores eligible rows (:mod:`repro.nn.delta`) and
+        routes the rest through the merged full GEMM, with bitwise
+        identical output either way.
+        """
         slot = self._ensure_slot()
         self._counter += 1
         seq = (self._nonce, self._counter)
         deadline = time.monotonic() + self.handle.policy.client_timeout
         while True:
             try:
-                self.handle.request_q.put((slot, seq, token_ids, mask), timeout=0.1)
+                self.handle.request_q.put(
+                    (slot, seq, token_ids, mask, base_ids, base_mask), timeout=0.1
+                )
                 return seq
             except queue_mod.Full:
                 # backpressure: the bounded queue is the service's intake
@@ -298,13 +325,24 @@ class ServiceScoreFn:
     they merge with other clients' batches.  Stochastic scoring (model in
     training mode or with inference-time dropout) falls back to the local
     path — its RNG streams live in this process and must stay here.
+
+    With ``delta=True`` the engine's ``base=`` document rides along with
+    each chunk (encoded at the chunk's pad length) and eligible rows are
+    delta-scored server-side (:mod:`repro.nn.delta`); the service decides
+    per row from the encoded ids/mask and falls back to the merged full
+    GEMM whenever a row is not a same-shape single edit, so responses are
+    bitwise identical with the flag on or off.
     """
 
-    def __init__(self, handle: ServiceHandle, model) -> None:
+    #: the engine passes ``base=`` only to score functions advertising this
+    accepts_base = True
+
+    def __init__(self, handle: ServiceHandle, model, delta: bool = False) -> None:
         self.client = ServiceClient(handle)
         self.model = model
+        self.delta = bool(delta)
 
-    def __call__(self, docs) -> np.ndarray:
+    def __call__(self, docs, base=None) -> np.ndarray:
         model = self.model
         if model.training or getattr(model, "inference_dropout", 0.0):
             return model.predict_proba(docs)
@@ -320,7 +358,14 @@ class ServiceScoreFn:
         sent: list[tuple[object, list[int]]] = []
         perf = getattr(model, "perf", None)
         record_encode = getattr(perf, "record_encode", None) if perf else None
+        send_base = self.delta and base is not None
         for indices, pad_len in buckets:
+            base_ids = base_mask = None
+            if send_base:
+                tic = time.perf_counter()
+                base_ids, base_mask = model.vocab.encode_batch([list(base)], pad_len)
+                if record_encode is not None:
+                    record_encode(1, time.perf_counter() - tic)
             for start in range(0, len(indices), batch_size):
                 idx = indices[start : start + batch_size]
                 chunk = [docs[i] for i in idx]
@@ -328,7 +373,7 @@ class ServiceScoreFn:
                 ids, mask = model.vocab.encode_batch(chunk, pad_len)
                 if record_encode is not None:
                     record_encode(len(idx), time.perf_counter() - tic)
-                sent.append((self.client.submit(ids, mask), idx))
+                sent.append((self.client.submit(ids, mask, base_ids, base_mask), idx))
         responses = self.client.collect([seq for seq, _ in sent])
         for seq, idx in sent:
             out[idx] = responses[seq]
@@ -361,6 +406,9 @@ def _service_main(model, handle: ServiceHandle, n_slots: int, control_q) -> None
     started = time.perf_counter()
     request_q = handle.request_q
     pending: list[tuple] = []
+    # resident delta base states, shared across clients (the same incumbent
+    # document is the base of every worker-side chunk of one iteration)
+    delta_states: OrderedDict[tuple, object] = OrderedDict()
     while True:
         handle.heartbeat.value = time.time()
         if handle.stop_flag.value:
@@ -390,40 +438,137 @@ def _service_main(model, handle: ServiceHandle, n_slots: int, control_q) -> None
             n_docs += req[2].shape[0]
         registry.set_gauge("service/queue_depth", float(request_q.qsize()))
         registry.inc("service/windows")
-        _dispatch(model, pending, handle.response_qs, recorder)
+        _dispatch(model, pending, handle.response_qs, recorder, delta_states)
         pending.clear()
     registry.inc("service/wall_seconds", time.perf_counter() - started)
     control_q.put(recorder.snapshot())
 
 
-def _dispatch(model, pending: list[tuple], response_qs, recorder: PerfRecorder) -> None:
-    """Merge the window's requests per padded length; one GEMM per group."""
+#: resident delta base states kept by the service (LRU, FIFO eviction)
+_DELTA_STATES_MAX = 32
+
+
+def _delta_rows(
+    model, kernel, delta_states: OrderedDict, req: tuple, out: np.ndarray, recorder
+) -> list[int]:
+    """Serve one based request's delta-eligible rows into ``out``.
+
+    A row is eligible when its mask equals the base's (same real length,
+    same padding); it is then either the base itself (serve the cached
+    probability) or an edited copy (delta-score the span of differing
+    ids).  Returns the row indices left for the merged full GEMM.
+    """
+    registry = recorder.registry
+    _slot, _seq, ids, mask, base_ids, base_mask = req
+    pad_len = ids.shape[1]
+    key = (pad_len, base_ids.tobytes(), base_mask.tobytes())
+    state = delta_states.get(key)
+    if state is None:
+        tic = time.perf_counter()
+        state = kernel.build(model, base_ids, base_mask)
+        recorder.record_forward(1, pad_len, time.perf_counter() - tic)
+        registry.inc("service/delta_state_builds")
+        delta_states[key] = state
+        while len(delta_states) > _DELTA_STATES_MAX:
+            delta_states.popitem(last=False)
+    else:
+        delta_states.move_to_end(key)
+    full_rows: list[int] = []
+    delta_rows: list[int] = []
+    spans: list[tuple[int, int]] = []
+    for i in range(ids.shape[0]):
+        if not np.array_equal(mask[i], base_mask[0]):
+            full_rows.append(i)
+            continue
+        diff = np.nonzero(ids[i] != base_ids[0])[0]
+        if diff.size == 0:
+            out[i] = state.probs
+            registry.inc("service/delta_base_hits")
+            continue
+        delta_rows.append(i)
+        spans.append((int(diff[0]), int(diff[-1]) + 1))
+    if delta_rows:
+        tic = time.perf_counter()
+        probs, units = kernel.score(model, state, ids[delta_rows], spans)
+        recorder.record_forward(len(delta_rows), pad_len, time.perf_counter() - tic)
+        out[delta_rows] = probs
+        registry.inc("service/delta_rows", len(delta_rows))
+        registry.inc("service/delta_units", units)
+    if full_rows:
+        registry.inc("service/delta_full_rows", len(full_rows))
+    return full_rows
+
+
+def _dispatch(
+    model,
+    pending: list[tuple],
+    response_qs,
+    recorder: PerfRecorder,
+    delta_states: OrderedDict | None = None,
+) -> None:
+    """Merge the window's requests per padded length; one GEMM per group.
+
+    Requests carrying a base document (``submit``'s ``base_ids``) are
+    delta-scored row by row when the model has a delta kernel
+    (:mod:`repro.nn.delta`): rows identical to the base serve the cached
+    base probability, edited rows recompute only the affected
+    suffix/windows, and ineligible rows join the merged full GEMM with
+    everyone else.  Stable kernels make every row's bits independent of
+    its batch-mates and delta rows reproduce the stable forward bit for
+    bit, so responses are identical whether or not a base was sent —
+    delta only changes cost.
+    """
     registry = recorder.registry
     groups: dict[int, list[tuple]] = {}
     for req in pending:
         groups.setdefault(req[2].shape[1], []).append(req)
+    kernel = delta_kernel_for(model) if delta_states is not None else None
+    if kernel is not None and not kernel.supports(model):
+        kernel = None
     for pad_len in sorted(groups):
         reqs = groups[pad_len]
         try:
-            ids = np.concatenate([r[2] for r in reqs])
-            mask = np.concatenate([r[3] for r in reqs])
-            tic = time.perf_counter()
-            probs = _stable_probs(model, ids, mask)
-            elapsed = time.perf_counter() - tic
-            recorder.record_forward(ids.shape[0], pad_len, elapsed)
-            registry.observe("service/batch_docs", float(ids.shape[0]))
-            registry.inc("service/dispatches")
-            registry.inc("service/merged_requests", len(reqs))
-            registry.inc("service/forward_seconds", elapsed)
-            offset = 0
-            for slot, seq, req_ids, _ in reqs:
-                n = req_ids.shape[0]
-                response_qs[slot].put((seq, probs[offset : offset + n]))
-                offset += n
+            answered: list[tuple[tuple, np.ndarray]] = []  # (req, probs)
+            full_ids: list[np.ndarray] = []
+            full_mask: list[np.ndarray] = []
+            full_slices: list[tuple[np.ndarray, list[int]]] = []
+            for req in reqs:
+                ids, mask = req[2], req[3]
+                out = np.empty((ids.shape[0], model.num_classes))
+                rows = list(range(ids.shape[0]))
+                if kernel is not None and req[4] is not None:
+                    try:
+                        rows = _delta_rows(model, kernel, delta_states, req, out, recorder)
+                    except Exception:  # noqa: BLE001 - delta is an optimization;
+                        # a bad base/state must degrade to the full GEMM
+                        registry.inc("service/delta_errors")
+                        rows = list(range(ids.shape[0]))
+                answered.append((req, out))
+                if rows:
+                    full_ids.append(ids[rows])
+                    full_mask.append(mask[rows])
+                    full_slices.append((out, rows))
+            if full_ids:
+                ids = np.concatenate(full_ids)
+                mask = np.concatenate(full_mask)
+                tic = time.perf_counter()
+                probs = _stable_probs(model, ids, mask)
+                elapsed = time.perf_counter() - tic
+                recorder.record_forward(ids.shape[0], pad_len, elapsed)
+                registry.observe("service/batch_docs", float(ids.shape[0]))
+                registry.inc("service/dispatches")
+                registry.inc("service/merged_requests", len(reqs))
+                registry.inc("service/forward_seconds", elapsed)
+                offset = 0
+                for out, rows in full_slices:
+                    out[rows] = probs[offset : offset + len(rows)]
+                    offset += len(rows)
+            for req, out in answered:
+                response_qs[req[0]].put((req[1], out))
         except Exception:  # noqa: BLE001 - clients must not hang on a bad batch
             registry.inc("service/dispatch_errors")
-            for slot, seq, _, _ in reqs:
-                response_qs[slot].put((seq, None))
+            for req in reqs:
+                response_qs[req[0]].put((req[1], None))
 
 
 class ScoringService:

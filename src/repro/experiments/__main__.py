@@ -92,12 +92,13 @@ def _list_attacks_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments list-attacks",
         description="List the attack registry: every name with its candidate "
-        "source, search strategy and paper reference.",
+        "source, search strategy, delta-scoring eligibility and paper "
+        "reference.",
     )
     parser.parse_args(argv)
     specs = [ATTACKS[name] for name in sorted(ATTACKS)]
-    headers = ("name", "source", "strategy", "paper")
-    rows = [(s.name, s.source, s.strategy, s.paper) for s in specs]
+    headers = ("name", "source", "strategy", "delta", "paper")
+    rows = [(s.name, s.source, s.strategy, s.delta, s.paper) for s in specs]
     widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
     fmt = "  ".join(f"{{:<{w}}}" for w in widths)
     print(fmt.format(*headers))

@@ -134,6 +134,7 @@ class ExperimentContext:
         journal_dir: str | os.PathLike | None = None,
         trace_dir: str | os.PathLike | None = None,
         scoring_service: bool | None = None,
+        delta_scoring: bool | None = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         default_cache = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
@@ -169,6 +170,11 @@ class ExperimentContext:
         #: REPRO_SCORING_SERVICE inside the runner, so the flag reaches
         #: every driver without code changes.
         self.scoring_service = scoring_service
+        #: score single-edit candidates incrementally (repro.nn.delta);
+        #: bitwise identical results.  None defers to REPRO_DELTA_SCORING
+        #: inside the runner, so the flag reaches every driver without
+        #: code changes.
+        self.delta_scoring = delta_scoring
         self._datasets: dict[str, TextDataset] = {}
         self._lexicons: dict[str, DomainLexicon] = {}
         self._vectors: dict[str, dict[str, np.ndarray]] = {}
@@ -414,6 +420,7 @@ class ExperimentContext:
             "journal_path": self.journal_path(tag),
             "trace_dir": self.trace_path(tag),
             "scoring_service": self.scoring_service,
+            "delta_scoring": self.delta_scoring,
         }
 
     def attack_runner(
@@ -422,13 +429,15 @@ class ExperimentContext:
         n_workers: int | None = None,
         chunk_size: int | None = None,
         scoring_service=None,
+        delta_scoring=None,
     ) -> ParallelAttackRunner:
         """A corpus runner for ``attack`` wired to this context's recorder.
 
         Worker precedence: explicit arg, then the context's ``n_workers``,
         then ``REPRO_NUM_WORKERS``/CPU count inside the runner; the same
         explicit-arg-then-context precedence applies to ``scoring_service``
-        (pass ``False`` to force the legacy path for one run).
+        and ``delta_scoring`` (pass ``False`` to force the legacy path for
+        one run).
         """
         return ParallelAttackRunner(
             attack,
@@ -438,5 +447,8 @@ class ExperimentContext:
             perf=self.perf,
             scoring_service=(
                 scoring_service if scoring_service is not None else self.scoring_service
+            ),
+            delta_scoring=(
+                delta_scoring if delta_scoring is not None else self.delta_scoring
             ),
         )

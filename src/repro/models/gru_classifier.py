@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.delta import RecurrentDeltaKernel, register_delta_kernel
 from repro.nn.inference import (
     dense_np,
     gru_forward_np,
@@ -85,3 +86,4 @@ def _gru_stable_logits(
 
 register_fused_kernel(GRUClassifier, _gru_fused_logits)
 register_stable_kernel(GRUClassifier, _gru_stable_logits)
+register_delta_kernel(GRUClassifier, RecurrentDeltaKernel("gru", "gru"))

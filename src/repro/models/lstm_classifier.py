@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.delta import RecurrentDeltaKernel, register_delta_kernel
 from repro.nn.inference import (
     dense_np,
     lstm_forward_np,
@@ -86,3 +87,4 @@ def _lstm_stable_logits(
 
 register_fused_kernel(LSTMClassifier, _lstm_fused_logits)
 register_stable_kernel(LSTMClassifier, _lstm_stable_logits)
+register_delta_kernel(LSTMClassifier, RecurrentDeltaKernel("lstm", "lstm"))

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.delta import ConvDeltaKernel, register_delta_kernel
 from repro.nn.functional import dropout as dropout_fn
 from repro.nn.inference import (
     conv1d_np,
@@ -132,3 +133,4 @@ def _wcnn_stable_logits(model: WCNN, token_ids: np.ndarray, mask: np.ndarray) ->
 
 register_fused_kernel(WCNN, _wcnn_fused_logits)
 register_stable_kernel(WCNN, _wcnn_stable_logits)
+register_delta_kernel(WCNN, ConvDeltaKernel())

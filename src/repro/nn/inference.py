@@ -163,6 +163,9 @@ def lstm_forward_np(
     w_x: np.ndarray,
     w_h: np.ndarray,
     bias: np.ndarray,
+    h0: np.ndarray | None = None,
+    c0: np.ndarray | None = None,
+    state_seq: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Fused LSTM recurrence over ``(B, T, D)``; returns ``(h, c)`` of ``(B, H)``.
 
@@ -171,11 +174,22 @@ def lstm_forward_np(
     mirrors :meth:`repro.nn.rnn.LSTM.forward` operation for operation:
     ``gates = (x_proj_t + h W_h^T) + b``, sigmoid/tanh splits, masked state
     carry-through via ``np.where``.
+
+    ``h0``/``c0`` seed the recurrence from a cached prefix state instead of
+    zeros (the recurrence is causal, so restarting at timestep ``p`` with the
+    state after ``p`` steps is exact).  ``state_seq``, when given, is a pair
+    of preallocated ``(B, T + 1, H)`` arrays that receive the state after
+    every step — index 0 holds the initial state — which is what the delta
+    scorer caches for a base document.
     """
     batch, seq_len, dim = emb.shape
     hid = w_h.shape[1]
-    h = np.zeros((batch, hid))
-    c = np.zeros((batch, hid))
+    h = np.zeros((batch, hid)) if h0 is None else np.array(h0, dtype=float)
+    c = np.zeros((batch, hid)) if c0 is None else np.array(c0, dtype=float)
+    if state_seq is not None:
+        h_seq, c_seq = state_seq
+        h_seq[:, 0] = h
+        c_seq[:, 0] = c
     wx_t = w_x.T
     wh_t = w_h.T
     x_proj = (emb.reshape(batch * seq_len, dim) @ wx_t).reshape(batch, seq_len, 4 * hid)
@@ -196,6 +210,9 @@ def lstm_forward_np(
             h = np.where(step, h_new, h)
         else:
             c, h = c_new, h_new
+        if state_seq is not None:
+            h_seq[:, t + 1] = h
+            c_seq[:, t + 1] = c
     return h, c
 
 
@@ -205,15 +222,23 @@ def gru_forward_np(
     w_x: np.ndarray,
     w_h: np.ndarray,
     bias: np.ndarray,
+    h0: np.ndarray | None = None,
+    state_seq: np.ndarray | None = None,
 ) -> np.ndarray:
     """Fused GRU recurrence; returns the final hidden state ``(B, H)``.
 
     Mirrors :meth:`repro.nn.rnn.GRU.forward`: joint update/reset projection,
     reset-gated candidate, ``h = (1 - z) n + z h`` with masked carry-through.
+
+    ``h0`` seeds the recurrence from a cached prefix state; ``state_seq`` is
+    an optional preallocated ``(B, T + 1, H)`` array receiving the state
+    after every step (index 0 = initial state).  See :func:`lstm_forward_np`.
     """
     batch, seq_len, dim = emb.shape
     hid = w_h.shape[1]
-    h = np.zeros((batch, hid))
+    h = np.zeros((batch, hid)) if h0 is None else np.array(h0, dtype=float)
+    if state_seq is not None:
+        state_seq[:, 0] = h
     wx_t = w_x.T
     wh_t = w_h.T
     x_proj = (emb.reshape(batch * seq_len, dim) @ wx_t).reshape(batch, seq_len, 3 * hid)
@@ -230,6 +255,8 @@ def gru_forward_np(
             h = np.where(step, h_new, h)
         else:
             h = h_new
+        if state_seq is not None:
+            state_seq[:, t + 1] = h
     return h
 
 

@@ -45,6 +45,17 @@ def test_scaling_series_schema(bench):
             assert entry["value"] > 0
 
 
+def test_delta_scoring_series_schema(bench):
+    """The delta-scoring part rides in BENCH with its acceptance bar."""
+    assert bench["delta_forward_reduction"]["unit"] == "x"
+    assert bench["delta_forward_reduction"]["value"] >= 2.0, (
+        "delta scoring must at least halve forward FLOP-equivalents over "
+        "the CELF fast configuration; regenerate BENCH_inference.json"
+    )
+    assert 0.0 <= bench["delta_suffix_fraction"]["value"] <= 1.0
+    assert bench["delta_candidates"]["value"] > 0
+
+
 def test_pooled_throughput_not_below_serial(bench):
     """With >= 2 CPUs, running the pool must not be slower than serial."""
     cpus = bench["parallel_runner_cpu_count"]["value"]

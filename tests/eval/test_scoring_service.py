@@ -345,6 +345,103 @@ class TestRunnerParity:
 
 
 # ---------------------------------------------------------------------------
+# delta-aware requests
+# ---------------------------------------------------------------------------
+
+
+class TestServiceDelta:
+    """Delta-aware service requests: same bits as full dispatch, fewer units.
+
+    The parity baseline here is deliberately the *service's own* full
+    path, not the legacy in-process path — service-backed scores may
+    differ from the legacy path at the ulp level (see the module
+    docstring of :mod:`repro.eval.scoring_service`), so delta-on must be
+    compared within-service.
+    """
+
+    def _edits(self, base):
+        cands = []
+        for i in range(min(len(base), 6)):
+            cand = list(base)
+            cand[i] = "<unk>"
+            cands.append(cand)
+        cands.append(list(base))  # a base hit
+        return cands
+
+    def test_delta_rows_match_full_dispatch_bitwise(
+        self, victim, running_service, corpus_slice
+    ):
+        docs, _ = corpus_slice
+        base = docs[0]
+        cands = self._edits(base)
+        full_fn = ServiceScoreFn(running_service.handle(), victim)
+        delta_fn = ServiceScoreFn(running_service.handle(), victim, delta=True)
+        want = full_fn(cands)
+        got = delta_fn(cands, base=base)
+        np.testing.assert_array_equal(got, want)
+
+    def test_length_changed_candidates_fall_back_service_side(
+        self, victim, running_service, corpus_slice
+    ):
+        docs, _ = corpus_slice
+        base = docs[0]
+        cands = [base[:-1], base + ["<unk>"], list(base)]
+        full_fn = ServiceScoreFn(running_service.handle(), victim)
+        delta_fn = ServiceScoreFn(running_service.handle(), victim, delta=True)
+        np.testing.assert_array_equal(
+            delta_fn(cands, base=base), full_fn(cands)
+        )
+
+    def test_no_base_means_plain_requests(self, victim, running_service, corpus_slice):
+        docs, _ = corpus_slice
+        delta_fn = ServiceScoreFn(running_service.handle(), victim, delta=True)
+        full_fn = ServiceScoreFn(running_service.handle(), victim)
+        np.testing.assert_array_equal(delta_fn(docs), full_fn(docs))
+
+    def test_delta_counters_in_stop_snapshot(self, victim, corpus_slice):
+        docs, _ = corpus_slice
+        base = docs[0]
+        service = ScoringService(victim)
+        service.start(n_clients=1)
+        fn = ServiceScoreFn(service.handle(), victim, delta=True)
+        fn(self._edits(base), base=base)
+        snapshot = service.stop()
+        counters = snapshot["registry"]["counters"]
+        assert counters["service/delta_state_builds"] >= 1
+        assert counters["service/delta_rows"] >= 1
+        assert counters["service/delta_base_hits"] >= 1
+        assert counters["service/delta_units"] >= 1
+        assert "service/delta_errors" not in counters
+
+    def test_runner_service_delta_matches_service_baseline(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        baseline = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=True, delta_scoring=False
+        ).run(docs, targets)
+        delta = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=True, delta_scoring=True
+        ).run(docs, targets)
+        assert full_fingerprint(delta) == full_fingerprint(baseline)
+
+    @needs_fork
+    def test_pooled_service_delta_is_worker_count_invariant(
+        self, victim, word_paraphraser, corpus_slice
+    ):
+        docs, targets = corpus_slice
+        attack = ObjectiveGreedyWordAttack(victim, word_paraphraser, 0.2)
+        one = ParallelAttackRunner(
+            attack, n_workers=1, base_seed=0, scoring_service=True, delta_scoring=True
+        ).run(docs, targets)
+        two = ParallelAttackRunner(
+            attack, n_workers=2, base_seed=0, scoring_service=True, delta_scoring=True
+        ).run(docs, targets)
+        assert full_fingerprint(one) == full_fingerprint(two)
+
+
+# ---------------------------------------------------------------------------
 # fault paths
 # ---------------------------------------------------------------------------
 
