@@ -1,0 +1,76 @@
+"""Query-efficiency frontier benchmark → ``BENCH_frontier.json``.
+
+Runs the :mod:`repro.experiments.frontier` sweep over a representative
+slice of the registry — the paper's greedy/lazy attacks next to the
+PR's frontier baselines (Gumbel sampling, particle swarm, saliency
+rank-then-replace) — under hard ``max_queries`` budgets, renders the
+markdown leaderboard, and records every ``(attack, budget)`` cell at the
+repo root so successive PRs keep a query-efficiency trajectory.
+
+Acceptance bars:
+
+* every cell respects the exact budget (``mean_queries <= budget``;
+  the driver itself asserts the per-document contract);
+* for each attack, success at the largest budget is no worse than at
+  the smallest (more queries never hurt: trajectories share a bitwise
+  prefix, and strategies only ever apply improving moves);
+* the leaderboard renders with one ``success@b`` column per budget.
+"""
+
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.eval.perf import write_bench_json
+from repro.experiments import frontier
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_frontier.json"
+
+ATTACK_SLICE = (
+    "greedy_word",
+    "lazy_greedy_word",
+    "random_word",
+    "gumbel_word",
+    "pso_word",
+    "heuristic_saliency",
+)
+BUDGETS = (25, 50, 100, 200)
+N_DOCS = 8
+
+
+def test_frontier_leaderboard(benchmark, ctx):
+    def run():
+        return frontier.run(
+            ctx, max_examples=N_DOCS, budgets=BUDGETS, attacks=ATTACK_SLICE
+        )
+
+    points = run_once(benchmark, run)
+    print("\n=== Query-efficiency frontier (yelp/wcnn, n=%d) ===" % N_DOCS)
+    print(frontier.render(points))
+    leaderboard = frontier.leaderboard(points)
+    print()
+    print(leaderboard)
+
+    assert len(points) == len(ATTACK_SLICE) * len(BUDGETS)
+    for p in points:
+        assert p.mean_queries <= p.max_queries
+        assert p.n_examples == N_DOCS
+
+    series = frontier.curves(points)
+    for name, curve in series.items():
+        assert [b for b, _ in curve] == sorted(BUDGETS)
+        assert curve[-1][1] >= curve[0][1], (
+            f"{name}: success dropped from {curve[0]} to {curve[-1]}"
+        )
+
+    assert "| rank | attack |" in leaderboard
+    for budget in BUDGETS:
+        assert f"success@{budget}" in leaderboard
+
+    metrics = {}
+    for p in points:
+        stem = f"{p.attack}_q{p.max_queries}"
+        metrics[f"{stem}_success_rate"] = (p.success_rate, "fraction")
+        metrics[f"{stem}_mean_queries"] = (p.mean_queries, "queries")
+    payload = write_bench_json(BENCH_PATH, metrics)
+    print(f"\n[wrote {BENCH_PATH.name} with {len(payload)} metrics]")

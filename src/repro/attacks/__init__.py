@@ -42,6 +42,8 @@ from repro.attacks.proposals import (
     CandidateSource,
     CharFlipSource,
     GradientRankedSource,
+    GumbelSource,
+    GumbelWordProposal,
     Proposal,
     SentenceParaphraseSource,
     SentenceProposal,
@@ -55,7 +57,9 @@ from repro.attacks.search import (
     FirstOrderSearch,
     GaussSouthwellSearch,
     GreedySearch,
+    HeuristicRankSearch,
     LazyGreedySearch,
+    ParticleSwarmSearch,
     RandomSearch,
     SearchStrategy,
     StagedSearch,
@@ -89,17 +93,21 @@ __all__ = [
     "AttackEngine",
     "Proposal",
     "WordProposal",
+    "GumbelWordProposal",
     "SentenceProposal",
     "CandidateSource",
     "WordParaphraseSource",
     "CharFlipSource",
     "SentenceParaphraseSource",
     "GradientRankedSource",
+    "GumbelSource",
     "SearchStrategy",
     "GreedySearch",
     "LazyGreedySearch",
     "BeamSearch",
     "RandomSearch",
+    "ParticleSwarmSearch",
+    "HeuristicRankSearch",
     "FirstOrderSearch",
     "GaussSouthwellSearch",
     "StagedSearch",

@@ -23,6 +23,7 @@ names to those combinations for the CLI and experiment drivers.
 from __future__ import annotations
 
 from repro.attacks.base import Attack
+from repro.attacks.cache import score_key
 from repro.attacks.proposals import CandidateSource, Proposal
 from repro.attacks.search import SearchStrategy
 from repro.models.base import TextClassifier
@@ -38,6 +39,14 @@ class AttackEngine(Attack):
     expanding once the cap is hit (the incumbent found so far is still
     returned and judged).  ``None`` (default) leaves termination to τ and
     the ``m``-constraint, exactly as before.
+
+    The cap is *exact*: :meth:`_score_batch` truncates a request to the
+    forwards the budget still affords (cache hits stay free), so
+    ``AttackResult.n_queries <= max_queries`` holds even when the final
+    proposal set is larger than the remaining budget — strategies receive
+    scores for the prefix that was affordable (possibly none) and must
+    treat a short return as budget exhaustion.  The frontier benchmark
+    sweeps budgets and depends on this equality being exact.
     """
 
     name = "engine"
@@ -69,13 +78,33 @@ class AttackEngine(Attack):
         return self.search.run(self, self.source, doc, target_label)
 
     # -- helpers for sources and strategies ---------------------------------
-    def index(self, source: CandidateSource, doc: list[str]) -> Proposal:
-        """Index ``doc`` through ``source`` (candidate-gen phase)."""
+    def index(
+        self,
+        source: CandidateSource,
+        doc: list[str],
+        target_label: int | None = None,
+    ) -> Proposal:
+        """Index ``doc`` through ``source`` (candidate-gen phase).
+
+        Sources that probe the victim while indexing (e.g. ``GumbelSource``
+        fitting its position distribution from a handful of forwards) set
+        ``needs_target = True`` and receive ``target_label``; plain sources
+        keep the two-argument interface.
+        """
+        if getattr(source, "needs_target", False):
+            return source.index(self, doc, target_label=target_label)
         return source.index(self, doc)
 
     def score(self, tokens: list[str], target_label: int) -> float:
-        """``C_y`` of one document, through the scoring choke point."""
-        return self._score(tokens, target_label)
+        """``C_y`` of one document, through the scoring choke point.
+
+        Returns ``0.0`` when the query budget is exhausted and the score is
+        not already cached — the caller cannot learn anything more about
+        this document, and every strategy loop re-checks
+        :meth:`out_of_queries` before acting on the value.
+        """
+        scores = self._score_batch([list(tokens)], target_label)
+        return scores[0] if scores else 0.0
 
     def score_batch(
         self,
@@ -90,6 +119,46 @@ class AttackEngine(Attack):
         candidates incrementally instead of with full forwards.
         """
         return self._score_batch(docs, target_label, base=base)
+
+    def _score_batch(
+        self,
+        docs: list[list[str]],
+        target_label: int,
+        base: list[str] | None = None,
+    ) -> list[float]:
+        if self.max_queries is not None and docs:
+            docs = self._truncate_to_budget(docs, target_label)
+        return super()._score_batch(docs, target_label, base=base)
+
+    def _truncate_to_budget(
+        self, docs: list[list[str]], target_label: int
+    ) -> list[list[str]]:
+        """Longest prefix of ``docs`` the remaining budget can pay for.
+
+        Walks the batch counting the forwards it would cost — with a cache,
+        only first occurrences of uncached documents pay (mirroring the
+        dedup in :meth:`Attack._score_batch`); without one, every document
+        pays.  Cache membership is probed via ``in`` so the walk leaves the
+        hit/miss counters untouched.
+        """
+        remaining = self.max_queries - self._queries
+        cache = self._cache
+        pending: set = set()
+        kept = 0
+        for doc in docs:
+            if cache is None:
+                miss = True
+            else:
+                key = score_key(doc, target_label)
+                miss = key not in pending and key not in cache
+            if miss:
+                if remaining <= 0:
+                    break
+                remaining -= 1
+                if cache is not None:
+                    pending.add(key)
+            kept += 1
+        return docs if kept == len(docs) else docs[:kept]
 
     def gradient(self, tokens: list[str], target_label: int):
         """Embedding gradient of ``C_y`` — one counted, traced forward."""

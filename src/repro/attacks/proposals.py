@@ -36,12 +36,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Proposal",
     "WordProposal",
+    "GumbelWordProposal",
     "SentenceProposal",
     "CandidateSource",
     "WordParaphraseSource",
     "CharFlipSource",
     "SentenceParaphraseSource",
     "GradientRankedSource",
+    "GumbelSource",
 ]
 
 
@@ -148,6 +150,29 @@ class WordProposal(Proposal):
 
     def move_key(self, move: str) -> str:
         return move
+
+
+class GumbelWordProposal(WordProposal):
+    """A :class:`WordProposal` restricted to a sampled position subset.
+
+    Produced by :class:`GumbelSource`: the full neighbor sets are kept (so
+    moves at a sampled position are unchanged) but :meth:`positions` only
+    exposes the positions the fitted distribution sampled, shrinking every
+    downstream search space.
+    """
+
+    def __init__(
+        self,
+        doc: Sequence[str],
+        neighbor_sets,
+        budget: int,
+        sampled_positions: Sequence[int],
+    ) -> None:
+        super().__init__(doc, neighbor_sets, budget)
+        self.sampled_positions = list(sampled_positions)
+
+    def positions(self) -> list[int]:
+        return self.sampled_positions
 
 
 class SentenceProposal(Proposal):
@@ -356,3 +381,89 @@ class GradientRankedSource(CandidateSource):
                 selected.append(i)
                 budget_left -= 1
         return selected, candidate_order
+
+
+class GumbelSource(CandidateSource):
+    """Learned parameterized position sampler — the Gumbel attack source
+    (Yang, Chen et al., arXiv:1805.12316).
+
+    Instead of searching every attackable position, fit a sampling
+    distribution over positions from a handful of *probe* forwards, then
+    draw a subset via the Gumbel-top-k trick and hand downstream search a
+    :class:`GumbelWordProposal` restricted to it:
+
+    1. **Probe** — perturb ``n_probes`` randomly chosen positions (one
+       random candidate each) and score them in one batch through the
+       engine, so the forwards are counted, cached and traced like any
+       other query.
+    2. **Fit** — per-position logits are the observed objective gains over
+       the unperturbed score, divided by ``temperature``; unprobed
+       positions get the mean probed gain as a neutral prior.
+    3. **Sample** — add i.i.d. Gumbel noise to the logits and keep the
+       top ``ceil(keep_ratio · n_attackable)`` positions (Gumbel-top-k is
+       exactly sampling-without-replacement from the softmax).
+
+    ``needs_target`` routes the target label through
+    :meth:`AttackEngine.index`; the probe RNG is a ``Generator`` attribute,
+    so per-document reseeding gives bitwise 1-vs-N-worker parity.
+    """
+
+    kind = "gumbel-word"
+    needs_target = True
+
+    def __init__(
+        self,
+        paraphraser,
+        word_budget_ratio: float = 0.2,
+        n_probes: int = 8,
+        temperature: float = 0.1,
+        keep_ratio: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= word_budget_ratio <= 1.0:
+            raise ValueError("word_budget_ratio must be in [0, 1]")
+        if n_probes < 0:
+            raise ValueError("n_probes must be >= 0")
+        if temperature <= 0.0:
+            raise ValueError("temperature must be > 0")
+        if not 0.0 < keep_ratio <= 1.0:
+            raise ValueError("keep_ratio must be in (0, 1]")
+        self.paraphraser = paraphraser
+        self.word_budget_ratio = word_budget_ratio
+        self.n_probes = n_probes
+        self.temperature = temperature
+        self.keep_ratio = keep_ratio
+        self._rng = np.random.default_rng(seed)
+
+    def index(
+        self,
+        engine: "AttackEngine",
+        doc: list[str],
+        target_label: int | None = None,
+    ) -> GumbelWordProposal:
+        with engine.span("candidate-gen"):
+            neighbor_sets = self.paraphraser.neighbor_sets(doc)
+        budget = int(self.word_budget_ratio * len(doc))
+        proposal = WordProposal(doc, neighbor_sets, budget)
+        positions = [j for j in proposal.positions() if proposal.moves_at(j)]
+        keep = max(1, int(np.ceil(self.keep_ratio * len(positions)))) if positions else 0
+        if target_label is None or self.n_probes == 0 or len(positions) <= keep:
+            return GumbelWordProposal(doc, neighbor_sets, budget, positions)
+        # probe: one random candidate at each of n_probes random positions
+        probe_order = self._rng.permutation(len(positions))[: self.n_probes]
+        probe_positions = [positions[int(i)] for i in probe_order]
+        probes = [
+            proposal.apply(list(doc), j, str(self._rng.choice(proposal.moves_at(j))))
+            for j in probe_positions
+        ]
+        base = engine.score(list(doc), target_label)
+        probe_scores = engine.score_batch(probes, target_label, base=list(doc))
+        gains = {j: s - base for j, s in zip(probe_positions, probe_scores)}
+        prior = float(np.mean(list(gains.values()))) if gains else 0.0
+        logits = (
+            np.array([gains.get(j, prior) for j in positions]) / self.temperature
+        )
+        noisy = logits + self._rng.gumbel(size=len(positions))
+        order = np.argsort(-noisy, kind="stable")
+        sampled = sorted(positions[int(i)] for i in order[:keep])
+        return GumbelWordProposal(doc, neighbor_sets, budget, sampled)

@@ -22,11 +22,14 @@ from dataclasses import dataclass, field
 from repro.attacks.base import Attack
 from repro.attacks.beam import BeamSearchWordAttack
 from repro.attacks.charflip import CharFlipCandidates
+from repro.attacks.engine import AttackEngine
 from repro.attacks.gradient_guided import GradientGuidedGreedyAttack
 from repro.attacks.gradient_word import GradientWordAttack
 from repro.attacks.greedy_word import ObjectiveGreedyWordAttack
 from repro.attacks.joint import JointParaphraseAttack
+from repro.attacks.proposals import GumbelSource, WordParaphraseSource
 from repro.attacks.random_attack import RandomWordAttack
+from repro.attacks.search import GreedySearch, HeuristicRankSearch, ParticleSwarmSearch
 from repro.attacks.sentence import GreedySentenceAttack
 
 __all__ = ["AttackSpec", "ATTACKS", "build_attack"]
@@ -114,6 +117,101 @@ def _build_joint_greedy(model, word_paraphraser=None, sentence_paraphraser=None,
         sentence_paraphraser,
         word_attack="objective-greedy",
         **kwargs,
+    )
+
+
+def _build_gumbel_word(
+    model,
+    word_paraphraser=None,
+    *,
+    word_budget_ratio=0.2,
+    tau=0.7,
+    n_probes=8,
+    temperature=0.1,
+    keep_ratio=0.5,
+    seed=0,
+    use_cache=True,
+    cache_max_entries=None,
+    max_queries=None,
+):
+    source = GumbelSource(
+        word_paraphraser,
+        word_budget_ratio=word_budget_ratio,
+        n_probes=n_probes,
+        temperature=temperature,
+        keep_ratio=keep_ratio,
+        seed=seed,
+    )
+    return AttackEngine(
+        model,
+        source,
+        GreedySearch(tau),
+        name="gumbel-word",
+        use_cache=use_cache,
+        cache_max_entries=cache_max_entries,
+        max_queries=max_queries,
+    )
+
+
+def _build_pso_word(
+    model,
+    word_paraphraser=None,
+    *,
+    word_budget_ratio=0.2,
+    tau=0.7,
+    n_particles=8,
+    iterations=10,
+    inertia=0.5,
+    cognitive=0.3,
+    mutation_rate=0.2,
+    seed=0,
+    use_cache=True,
+    cache_max_entries=None,
+    max_queries=None,
+):
+    search = ParticleSwarmSearch(
+        tau=tau,
+        n_particles=n_particles,
+        iterations=iterations,
+        inertia=inertia,
+        cognitive=cognitive,
+        mutation_rate=mutation_rate,
+        seed=seed,
+    )
+    return AttackEngine(
+        model,
+        WordParaphraseSource(word_paraphraser, word_budget_ratio),
+        search,
+        name="pso-word",
+        use_cache=use_cache,
+        cache_max_entries=cache_max_entries,
+        max_queries=max_queries,
+    )
+
+
+def _build_heuristic_saliency(
+    model,
+    word_paraphraser=None,
+    *,
+    word_budget_ratio=0.2,
+    tau=0.7,
+    candidate_rule="best",
+    mask_token="<unk>",
+    use_cache=True,
+    cache_max_entries=None,
+    max_queries=None,
+):
+    search = HeuristicRankSearch(
+        tau=tau, candidate_rule=candidate_rule, mask_token=mask_token
+    )
+    return AttackEngine(
+        model,
+        WordParaphraseSource(word_paraphraser, word_budget_ratio),
+        search,
+        name="heuristic-saliency",
+        use_cache=use_cache,
+        cache_max_entries=cache_max_entries,
+        max_queries=max_queries,
     )
 
 
@@ -226,6 +324,40 @@ ATTACKS: dict[str, AttackSpec] = {
             "cache_max_entries",
         ),
         delta="word-stage",
+    ),
+    "gumbel_word": AttackSpec(
+        name="gumbel_word",
+        source="gumbel word-paraphrase",
+        strategy="greedy scan over sampled positions",
+        paper="Yang & Chen et al., arXiv:1805.12316",
+        summary="probe forwards fit a position distribution; Gumbel-top-k restricts the scan",
+        builder=_build_gumbel_word,
+        needs=("word",),
+        params=_COMMON + ("n_probes", "temperature", "keep_ratio", "seed", "max_queries"),
+        delta="yes",
+    ),
+    "pso_word": AttackSpec(
+        name="pso_word",
+        source="word-paraphrase",
+        strategy="particle swarm",
+        paper="Zang et al., arXiv:1910.12196",
+        summary="population of substitution sets evolved by pbest/gbest crossover",
+        builder=_build_pso_word,
+        needs=("word",),
+        params=_COMMON
+        + ("n_particles", "iterations", "inertia", "cognitive", "mutation_rate", "seed", "max_queries"),
+        delta="yes",
+    ),
+    "heuristic_saliency": AttackSpec(
+        name="heuristic_saliency",
+        source="word-paraphrase",
+        strategy="saliency rank-then-replace",
+        paper="Berger et al., arXiv:2109.07926",
+        summary="mask-saliency ranking, one substitution pass, no search",
+        builder=_build_heuristic_saliency,
+        needs=("word",),
+        params=_COMMON + ("candidate_rule", "max_queries"),
+        delta="yes",
     ),
     "joint_greedy": AttackSpec(
         name="joint_greedy",

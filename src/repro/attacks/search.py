@@ -35,6 +35,8 @@ __all__ = [
     "LazyGreedySearch",
     "BeamSearch",
     "RandomSearch",
+    "ParticleSwarmSearch",
+    "HeuristicRankSearch",
     "FirstOrderSearch",
     "GaussSouthwellSearch",
     "StagedSearch",
@@ -88,7 +90,7 @@ class GreedySearch(SearchStrategy):
         self.tau = _validate_tau(tau)
 
     def run(self, engine, source, doc, target_label):
-        proposal = engine.index(source, doc)
+        proposal = engine.index(source, doc, target_label)
         state = proposal.initial_state()
         score = engine.score(proposal.tokens(state), target_label)
         support: set[int] = set()
@@ -107,6 +109,8 @@ class GreedySearch(SearchStrategy):
                 scores = engine.score_batch(
                     candidates, target_label, base=proposal.tokens(state)
                 )
+                if not scores:  # budget truncated the whole batch
+                    break
                 best = max(range(len(scores)), key=scores.__getitem__)
             if scores[best] <= score + 1e-12:
                 break
@@ -147,7 +151,7 @@ class LazyGreedySearch(SearchStrategy):
         self.tau = _validate_tau(tau)
 
     def run(self, engine, source, doc, target_label):
-        proposal = engine.index(source, doc)
+        proposal = engine.index(source, doc, target_label)
         state = proposal.initial_state()
         score = engine.score(proposal.tokens(state), target_label)
         support: set[int] = set()
@@ -199,12 +203,12 @@ class LazyGreedySearch(SearchStrategy):
                 ):
                     return None  # position consumed / move already applied
                 candidate = proposal.tokens(proposal.apply(state, j, move))
-                return (
-                    engine.score_batch(
-                        [candidate], target_label, base=proposal.tokens(state)
-                    )[0]
-                    - score
+                fresh = engine.score_batch(
+                    [candidate], target_label, base=proposal.tokens(state)
                 )
+                if not fresh:  # budget exhausted mid-select
+                    return None
+                return fresh[0] - score
 
             with engine.span("greedy-select"):
                 n_candidates = len(heap)
@@ -254,7 +258,7 @@ class BeamSearch(SearchStrategy):
         self.beam_width = beam_width
 
     def run(self, engine, source, doc, target_label):
-        proposal = engine.index(source, doc)
+        proposal = engine.index(source, doc, target_label)
         origin = proposal.initial_state()
         base_score = engine.score(proposal.tokens(origin), target_label)
         # beam entries: (score, substitutions dict)
@@ -288,6 +292,8 @@ class BeamSearch(SearchStrategy):
                 scores = engine.score_batch(
                     docs, target_label, base=proposal.tokens(origin)
                 )
+                if not scores:  # budget truncated the whole batch
+                    break
                 ranked = sorted(zip(scores, candidates), key=lambda sc: -sc[0])
             beam = [(s, c) for s, c in ranked[: self.beam_width]]
             if beam[0][0] <= best_score + 1e-12:
@@ -312,17 +318,34 @@ class RandomSearch(SearchStrategy):
 
     Its gap to the guided strategies quantifies how much the search
     matters.  Requires scalar (string) moves, i.e. word-level sources.
+
+    Each ``run`` draws from a fresh child stream derived from
+    ``(seed, call counter)``, so repeated runs on one instance
+    (multi-restart loops, staged pipelines) explore different moves
+    instead of replaying identical draws.  The first call after a
+    ``reseed`` uses the bare ``seed`` stream, which keeps the
+    per-document reseeding contract — and the frozen goldens, which are
+    recorded one document per reseed — bitwise-intact.
     """
 
     kind = "random"
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
+        self._call_count = 0
+
+    def reseed(self, seed: int) -> None:
+        reseed_object(self, seed)
+        self._call_count = 0
 
     def run(self, engine, source, doc, target_label):
-        proposal = engine.index(source, doc)
+        proposal = engine.index(source, doc, target_label)
         state = proposal.initial_state()
-        rng = np.random.default_rng(self.seed)
+        if self._call_count == 0:
+            rng = np.random.default_rng(self.seed)
+        else:
+            rng = np.random.default_rng((self.seed, self._call_count))
+        self._call_count += 1
         positions = proposal.positions()
         if not positions or proposal.budget == 0:
             return proposal.tokens(state), []
@@ -332,6 +355,245 @@ class RandomSearch(SearchStrategy):
         substitutions = {int(i): str(rng.choice(proposal.moves_at(int(i)))) for i in chosen}
         stages = [proposal.stage] * len(substitutions)
         return proposal.tokens(proposal.apply_many(state, substitutions)), stages
+
+
+class ParticleSwarmSearch(SearchStrategy):
+    """Discrete particle-swarm population search (Zang et al., arXiv:1910.12196).
+
+    A swarm of ``n_particles`` candidate substitution sets evolves for
+    ``iterations`` rounds: each round scores every particle in one batch
+    through the engine, updates personal bests (``pbest``) and the global
+    best (``gbest``), then moves each particle position-wise — keep its own
+    move with probability ``inertia``, adopt the ``pbest`` move with
+    probability ``cognitive``, else adopt the ``gbest`` move — with a
+    ``mutation_rate`` chance of one fresh random substitution.  Particles
+    never exceed the proposal's ``m``-constraint (oversized particles are
+    randomly pruned back to the budget).
+
+    Population search trades many queries per round for global exploration
+    that single-incumbent greedy cannot do — the frontier benchmark
+    measures exactly that trade.  Requires scalar (string) moves, i.e.
+    word-level sources.  Like :class:`RandomSearch`, each ``run`` draws
+    from a ``(seed, call counter)`` child stream with the counter reset on
+    ``reseed``, so per-document reseeding keeps 1-vs-N-worker runs
+    bitwise identical.
+    """
+
+    kind = "pso"
+
+    def __init__(
+        self,
+        tau: float = 0.7,
+        n_particles: int = 8,
+        iterations: int = 10,
+        inertia: float = 0.5,
+        cognitive: float = 0.3,
+        mutation_rate: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        self.tau = _validate_tau(tau)
+        if n_particles < 1:
+            raise ValueError("n_particles must be >= 1")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0.0 <= inertia <= 1.0 or not 0.0 <= cognitive <= 1.0:
+            raise ValueError("inertia and cognitive must be in [0, 1]")
+        if inertia + cognitive > 1.0:
+            raise ValueError("inertia + cognitive must be <= 1 (rest is social)")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        self.n_particles = n_particles
+        self.iterations = iterations
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.mutation_rate = mutation_rate
+        self.seed = seed
+        self._call_count = 0
+
+    def reseed(self, seed: int) -> None:
+        reseed_object(self, seed)
+        self._call_count = 0
+
+    def run(self, engine, source, doc, target_label):
+        proposal = engine.index(source, doc, target_label)
+        state = proposal.initial_state()
+        positions = [j for j in proposal.positions() if proposal.moves_at(j)]
+        budget = proposal.budget
+        if self._call_count == 0:
+            rng = np.random.default_rng(self.seed)
+        else:
+            rng = np.random.default_rng((self.seed, self._call_count))
+        self._call_count += 1
+        if not positions or budget == 0:
+            return proposal.tokens(state), []
+        base_tokens = proposal.tokens(state)
+        base_score = engine.score(base_tokens, target_label)
+        best_tokens, best_score, gbest = base_tokens, base_score, {}
+        if base_score >= self.tau:
+            return best_tokens, []
+
+        def random_particle() -> dict[int, str]:
+            k = int(rng.integers(1, min(budget, len(positions)) + 1))
+            chosen = rng.choice(positions, size=k, replace=False)
+            return {int(j): str(rng.choice(proposal.moves_at(int(j)))) for j in chosen}
+
+        particles = [random_particle() for _ in range(self.n_particles)]
+        pbest = [dict(p) for p in particles]
+        pbest_scores = [-np.inf] * self.n_particles
+        for iteration in range(self.iterations):
+            if engine.out_of_queries():
+                break
+            docs = [proposal.tokens(proposal.apply_many(state, p)) for p in particles]
+            with engine.span("greedy-select"):
+                scores = engine.score_batch(docs, target_label, base=base_tokens)
+            if not scores:  # budget truncated the whole batch
+                break
+            previous_best = best_score
+            for i, s in enumerate(scores):  # may be a budget-truncated prefix
+                if s > pbest_scores[i]:
+                    pbest_scores[i] = s
+                    pbest[i] = dict(particles[i])
+                if s > best_score:
+                    best_score, gbest, best_tokens = s, dict(particles[i]), docs[i]
+            engine.trace_iteration(
+                stage=proposal.stage,
+                iteration=iteration,
+                positions=sorted(gbest),
+                n_candidates=len(docs),
+                best_objective=best_score,
+                marginal_gain=best_score - previous_best,
+                rescans=0,
+            )
+            if best_score >= self.tau:
+                break
+            moved: list[dict[int, str]] = []
+            for i, particle in enumerate(particles):
+                child: dict[int, str] = {}
+                for j in sorted(set(particle) | set(pbest[i]) | set(gbest)):
+                    r = rng.random()
+                    if r < self.inertia:
+                        if j in particle:
+                            child[j] = particle[j]
+                    elif r < self.inertia + self.cognitive:
+                        if j in pbest[i]:
+                            child[j] = pbest[i][j]
+                    elif j in gbest:
+                        child[j] = gbest[j]
+                if rng.random() < self.mutation_rate:
+                    j = int(rng.choice(positions))
+                    child[j] = str(rng.choice(proposal.moves_at(j)))
+                if len(child) > budget:
+                    keep = rng.choice(sorted(child), size=budget, replace=False)
+                    child = {int(j): child[int(j)] for j in keep}
+                moved.append(child if child else random_particle())
+            particles = moved
+        return best_tokens, [proposal.stage] * len(gbest)
+
+
+class HeuristicRankSearch(SearchStrategy):
+    """Saliency-rank-then-replace, no search — the Berger et al. yardstick
+    (arXiv:2109.07926).
+
+    Two fixed passes, deliberately simple: (1) mask every attackable
+    position with ``mask_token`` and score the masked documents in one
+    batch — the objective gain under masking is the position's saliency;
+    (2) walk positions once in descending saliency and substitute, never
+    revisiting a position or re-ranking.  ``candidate_rule`` picks how a
+    replacement is chosen at each position: ``"best"`` scores all
+    candidates in one batch and keeps the best improving one; ``"first"``
+    scores candidates one by one and keeps the first that improves (fewer
+    queries, weaker).  The gap between this baseline and the search
+    strategies is the benchmark's measure of how much search matters.
+    Requires scalar (string) moves, i.e. word-level sources.
+    """
+
+    kind = "heuristic-rank"
+
+    def __init__(
+        self,
+        tau: float = 0.7,
+        candidate_rule: str = "best",
+        mask_token: str = "<unk>",
+    ) -> None:
+        self.tau = _validate_tau(tau)
+        if candidate_rule not in ("best", "first"):
+            raise ValueError("candidate_rule must be 'best' or 'first'")
+        self.candidate_rule = candidate_rule
+        self.mask_token = mask_token
+
+    def run(self, engine, source, doc, target_label):
+        proposal = engine.index(source, doc, target_label)
+        state = proposal.initial_state()
+        score = engine.score(proposal.tokens(state), target_label)
+        positions = [j for j in proposal.positions() if proposal.moves_at(j)]
+        stages: list[str] = []
+        if not positions or proposal.budget == 0 or score >= self.tau:
+            return proposal.tokens(state), stages
+        # pass 1 — saliency: objective gain when each position is masked
+        masked = [
+            proposal.tokens(proposal.apply(state, j, self.mask_token)) for j in positions
+        ]
+        with engine.span("greedy-select"):
+            saliency_scores = engine.score_batch(
+                masked, target_label, base=proposal.tokens(state)
+            )
+        saliency = {j: s - score for j, s in zip(positions, saliency_scores)}
+        ranked = sorted(saliency, key=lambda j: (-saliency[j], j))
+        # pass 2 — replace in rank order, one visit per position
+        support: set[int] = set()
+        for j in ranked:
+            if (
+                score >= self.tau
+                or len(support) >= proposal.budget
+                or engine.out_of_queries()
+            ):
+                break
+            moves = [m for m in proposal.moves_at(j) if m != proposal.unit(state, j)]
+            if not moves:
+                continue
+            picked = None
+            if self.candidate_rule == "best":
+                candidates = [proposal.apply(state, j, m) for m in moves]
+                with engine.span("greedy-select"):
+                    scores = engine.score_batch(
+                        [proposal.tokens(c) for c in candidates],
+                        target_label,
+                        base=proposal.tokens(state),
+                    )
+                if not scores:  # budget truncated the whole batch
+                    break
+                best = max(range(len(scores)), key=scores.__getitem__)
+                if scores[best] > score + 1e-12:
+                    picked = (candidates[best], scores[best], len(scores))
+            else:  # first improving candidate
+                for n_tried, move in enumerate(moves, start=1):
+                    candidate = proposal.apply(state, j, move)
+                    scores = engine.score_batch(
+                        [proposal.tokens(candidate)],
+                        target_label,
+                        base=proposal.tokens(state),
+                    )
+                    if not scores:
+                        break
+                    if scores[0] > score + 1e-12:
+                        picked = (candidate, scores[0], n_tried)
+                        break
+            if picked is None:
+                continue
+            state, new_score, n_candidates = picked
+            engine.trace_iteration(
+                stage=proposal.stage,
+                iteration=len(stages),
+                positions=[j],
+                n_candidates=n_candidates,
+                best_objective=new_score,
+                marginal_gain=new_score - score,
+                rescans=0,
+            )
+            score = new_score
+            proposal.update_support(support, state, j)
+            stages.append(proposal.stage)
+        return proposal.tokens(state), stages
 
 
 class FirstOrderSearch(SearchStrategy):
@@ -354,7 +616,7 @@ class FirstOrderSearch(SearchStrategy):
         self.iterations = iterations
 
     def run(self, engine, source, doc, target_label):
-        proposal = engine.index(source, doc)
+        proposal = engine.index(source, doc, target_label)
         model = engine.model
 
         def embedding_of(word: str) -> np.ndarray:
@@ -434,7 +696,7 @@ class GaussSouthwellSearch(SearchStrategy):
         self.max_iterations = max_iterations
 
     def run(self, engine, source, doc, target_label):
-        proposal = engine.index(source, doc)
+        proposal = engine.index(source, doc, target_label)
         current = proposal.initial_state()
         score = engine.score(proposal.tokens(current), target_label)
         changed: set[int] = set()
@@ -484,6 +746,8 @@ class GaussSouthwellSearch(SearchStrategy):
                     target_label,
                     base=proposal.tokens(current),
                 )
+                if not scores:  # budget truncated the whole batch
+                    break
                 best = max(range(len(scores)), key=scores.__getitem__)
             if scores[best] <= score + 1e-12:
                 # This batch of positions cannot improve; fall back to the
@@ -535,11 +799,14 @@ class GaussSouthwellSearch(SearchStrategy):
             if len(kept) == 1:
                 break
             trial = {p: w for p, w in kept.items() if p != pos}
-            score = engine.score_batch(
+            trial_scores = engine.score_batch(
                 [apply_word_substitutions(current, trial)],
                 target_label,
                 base=list(current),
-            )[0]
+            )
+            if not trial_scores:  # budget exhausted mid-prune
+                break
+            score = trial_scores[0]
             if score >= best_score - 1e-12:
                 kept = trial
                 best_score = score

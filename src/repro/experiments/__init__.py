@@ -10,6 +10,7 @@ Module             Paper artifact
 ``table5``         Table 5 — adversarial training
 ``table6``         Table 6 — dataset statistics
 ``examples_gallery``  Figure 1 — adversarial text examples
+``frontier``       query-efficiency frontier (beyond the paper)
 =================  =============================================
 
 All drivers consume an :class:`~repro.experiments.common.ExperimentContext`

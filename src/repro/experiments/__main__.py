@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments table3 --save results/   # + JSON/CSV dumps
     python -m repro.experiments report runs/      # render a traced run
     python -m repro.experiments list-attacks      # registry: source x strategy
+    python -m repro.experiments frontier          # success vs query-budget leaderboard
 
 Results print as aligned text tables; trained victims are cached under
 ``.cache/`` so repeated runs are fast.  Setting ``REPRO_TRACE_DIR`` (or
@@ -27,6 +28,7 @@ from repro.experiments import (
     appendix_examples,
     examples_gallery,
     figure4,
+    frontier,
     table2,
     table3,
     table4,
@@ -87,6 +89,65 @@ def _report_main(argv: list[str]) -> int:
     return 0
 
 
+def _frontier_main(argv: list[str]) -> int:
+    """``frontier``: sweep query budgets across the registry, rank attacks."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments frontier",
+        description="Query-efficiency frontier: success rate vs. hard "
+        "max_queries budgets for every registry attack, rendered as a "
+        "markdown leaderboard.",
+    )
+    parser.add_argument(
+        "--attacks",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        choices=sorted(ATTACKS),
+        help="registry attacks to sweep (default: the whole registry)",
+    )
+    parser.add_argument(
+        "--budgets",
+        nargs="+",
+        type=int,
+        metavar="N",
+        default=None,
+        help=f"max_queries grid (default: {' '.join(map(str, frontier.DEFAULT_BUDGETS))})",
+    )
+    parser.add_argument(
+        "--max-examples", type=int, default=12, help="corpus slice size per cell"
+    )
+    parser.add_argument("--dataset", default="yelp", help="corpus to attack")
+    parser.add_argument("--arch", default="wcnn", help="victim architecture")
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the markdown leaderboard to FILE (table still prints)",
+    )
+    args = parser.parse_args(argv)
+    context = ExperimentContext()
+    start = time.perf_counter()
+    points = frontier.run(
+        context,
+        max_examples=args.max_examples,
+        budgets=tuple(args.budgets) if args.budgets else frontier.DEFAULT_BUDGETS,
+        attacks=tuple(args.attacks) if args.attacks else None,
+        dataset=args.dataset,
+        arch=args.arch,
+    )
+    print(frontier.render(points))
+    print(f"[frontier done in {time.perf_counter() - start:.1f}s]", file=sys.stderr)
+    markdown = frontier.leaderboard(points)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown + "\n")
+        print(f"[leaderboard written to {args.out}]", file=sys.stderr)
+    else:
+        print()
+        print(markdown)
+    return 0
+
+
 def _list_attacks_main(argv: list[str]) -> int:
     """``list-attacks``: print the registry as a source × strategy table."""
     parser = argparse.ArgumentParser(
@@ -112,12 +173,14 @@ def _list_attacks_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # `report` and `list-attacks` are verbs, not artifacts: dispatch before
-    # the artifact parser
+    # `report`, `list-attacks` and `frontier` are verbs, not artifacts:
+    # dispatch before the artifact parser
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
     if argv and argv[0] == "list-attacks":
         return _list_attacks_main(argv[1:])
+    if argv and argv[0] == "frontier":
+        return _frontier_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",

@@ -40,6 +40,7 @@ __all__ = [
     "load_failures",
     "render_report",
     "render_phase_table",
+    "render_frontier_leaderboard",
 ]
 
 METRICS_FILENAME = "metrics.json"
@@ -185,6 +186,63 @@ def render_phase_table(counters: dict[str, float]) -> str:
         for path, entry in sorted(phases.items())
     ]
     return _md_table(["phase", "calls", "seconds", "share"], rows)
+
+
+def render_frontier_leaderboard(points: list[dict]) -> str:
+    """Markdown leaderboard for a query-efficiency frontier sweep.
+
+    ``points`` are plain dicts (one per ``(attack, budget)`` cell) with
+    keys ``attack``, ``max_queries``, ``success_rate``, ``mean_queries``
+    and ``n_examples`` — the :mod:`repro.experiments.frontier` driver
+    passes its dataclasses through ``asdict``, keeping this module free
+    of attack/eval imports.  Attacks are ranked by success rate at the
+    largest budget, ties broken by fewer queries actually spent there —
+    the attack that converts a fixed query budget into the most
+    flipped documents wins.
+    """
+    if not points:
+        return "_no frontier points recorded_"
+    budgets = sorted({int(p["max_queries"]) for p in points})
+    by_attack: dict[str, dict[int, dict]] = {}
+    for p in points:
+        by_attack.setdefault(str(p["attack"]), {})[int(p["max_queries"])] = p
+    top = budgets[-1]
+
+    def rank_key(item: tuple[str, dict[int, dict]]):
+        name, cells = item
+        best = cells.get(top, {})
+        return (
+            -float(best.get("success_rate", 0.0)),
+            float(best.get("mean_queries", float("inf"))),
+            name,
+        )
+
+    ranked = sorted(by_attack.items(), key=rank_key)
+    headers = (
+        ["rank", "attack"]
+        + [f"success@{b}" for b in budgets]
+        + [f"queries@{top}"]
+    )
+    rows = []
+    for rank, (name, cells) in enumerate(ranked, start=1):
+        row = [str(rank), f"`{name}`"]
+        for b in budgets:
+            cell = cells.get(b)
+            row.append(f"{cell['success_rate']:.1%}" if cell else "—")
+        best = cells.get(top)
+        row.append(f"{best['mean_queries']:.1f}" if best else "—")
+        rows.append(row)
+    n_docs = max(int(p.get("n_examples", 0)) for p in points)
+    return "\n".join(
+        [
+            "# Query-efficiency frontier leaderboard",
+            "",
+            f"Success rate under hard `max_queries` budgets ({n_docs} documents; "
+            "per-document `n_queries <= budget`, enforced by the engine).",
+            "",
+            _md_table(headers, rows),
+        ]
+    )
 
 
 def _trace_digest(run_dir: str | Path) -> dict:
