@@ -87,6 +87,7 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.attacks.base import Attack, AttackFailure, AttackResult
 from repro.eval.perf import PerfRecorder
@@ -98,6 +99,7 @@ from repro.eval.scoring_service import (
 )
 from repro.nn.delta import DeltaScoreFn, delta_scoring_enabled
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import SERVICE_SERIES_FILENAME
 
 __all__ = [
     "ParallelAttackRunner",
@@ -354,6 +356,13 @@ class ParallelAttackRunner:
         so the service can delta-score rows server-side.  Results are
         bitwise identical with the flag on or off.  The default of
         ``None`` defers to ``REPRO_DELTA_SCORING``.
+    series_dir:
+        Directory a runner-built scoring service streams its live
+        ``service_series.jsonl`` time series into
+        (:mod:`repro.obs.timeseries`); ``evaluate_attack`` passes the
+        run's ``trace_dir``.  Ignored when the caller supplies its own
+        :class:`ScoringService` instance (that instance's ``series_path``
+        wins).
     """
 
     def __init__(
@@ -367,6 +376,7 @@ class ParallelAttackRunner:
         on_result: Callable[[int, AttackResult | AttackFailure], None] | None = None,
         scoring_service: "ScoringService | bool | None" = None,
         delta_scoring: bool | None = None,
+        series_dir: "str | os.PathLike | None" = None,
     ) -> None:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -379,6 +389,10 @@ class ParallelAttackRunner:
         self.on_result = on_result
         self.scoring_service = scoring_service
         self.delta_scoring = delta_scoring
+        #: directory a runner-built scoring service streams its
+        #: ``service_series.jsonl`` into (usually the run's trace_dir);
+        #: ``None`` keeps the service series off
+        self.series_dir = series_dir
         self._service: ScoringService | None = None
 
     def _resolve_delta(self) -> bool:
@@ -393,8 +407,13 @@ class ParallelAttackRunner:
         if not spec:
             return None
         if spec is True:
+            series_path = (
+                Path(self.series_dir) / SERVICE_SERIES_FILENAME
+                if self.series_dir is not None
+                else None
+            )
             try:
-                return ScoringService(self.attack.model)
+                return ScoringService(self.attack.model, series_path=series_path)
             except ScoringServiceError as exc:
                 warnings.warn(
                     f"scoring service unavailable ({exc}); falling back to "

@@ -68,6 +68,7 @@ from repro.eval.perf import PerfRecorder
 from repro.nn.delta import delta_kernel_for
 from repro.nn.inference import softmax_np, stable_kernel_for
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesSampler
 
 __all__ = [
     "SCORING_SERVICE_ENV",
@@ -124,6 +125,9 @@ class ServicePolicy:
     #: client-side chunking of one ``_score_batch`` request (mirrors
     #: ``predict_proba``'s batch_size)
     batch_size: int = 128
+    #: seconds between ``service/*`` time-series points when the service
+    #: writes a series file; ``None`` defers to ``REPRO_SERIES_INTERVAL``
+    series_interval: float | None = None
 
 
 class SharedWeightArena:
@@ -398,11 +402,27 @@ def _stable_probs(model, token_ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
     return softmax_np(kernel(model, token_ids, mask))
 
 
-def _service_main(model, handle: ServiceHandle, n_slots: int, control_q) -> None:
+def _service_main(
+    model, handle: ServiceHandle, n_slots: int, control_q, series_path=None
+) -> None:
     """Aggregation loop: drain → window → group by length → dispatch."""
     policy = handle.policy
     recorder = PerfRecorder(registry=MetricsRegistry())
     registry = recorder.registry
+    # the service lives in its own process, so its registry is invisible to
+    # the parent until stop(); a sampler inside the loop streams the
+    # service/* trajectory (queue depth, batch sizes, delta savings) into
+    # service_series.jsonl so the run's telemetry can see it mid-flight
+    sampler = (
+        TimeSeriesSampler(
+            registry.snapshot,
+            path=series_path,
+            interval_seconds=policy.series_interval,
+            source="service",
+        )
+        if series_path is not None
+        else None
+    )
     started = time.perf_counter()
     request_q = handle.request_q
     pending: list[tuple] = []
@@ -411,6 +431,8 @@ def _service_main(model, handle: ServiceHandle, n_slots: int, control_q) -> None
     delta_states: OrderedDict[tuple, object] = OrderedDict()
     while True:
         handle.heartbeat.value = time.time()
+        if sampler is not None:
+            sampler.maybe_sample()
         if handle.stop_flag.value:
             break
         try:
@@ -441,6 +463,8 @@ def _service_main(model, handle: ServiceHandle, n_slots: int, control_q) -> None
         _dispatch(model, pending, handle.response_qs, recorder, delta_states)
         pending.clear()
     registry.inc("service/wall_seconds", time.perf_counter() - started)
+    if sampler is not None:
+        sampler.close()  # final point carries the service's run totals
     control_q.put(recorder.snapshot())
 
 
@@ -583,7 +607,9 @@ class ScoringService:
     returns the service's perf snapshot, and releases the arena.
     """
 
-    def __init__(self, model, policy: ServicePolicy | None = None) -> None:
+    def __init__(
+        self, model, policy: ServicePolicy | None = None, series_path=None
+    ) -> None:
         if stable_kernel_for(model) is None:
             raise ScoringServiceError(
                 f"no composition-stable kernel registered for "
@@ -592,6 +618,10 @@ class ScoringService:
             )
         self.model = model
         self.policy = policy or ServicePolicy()
+        #: JSONL file (typically ``<run_dir>/service_series.jsonl``) the
+        #: service process streams its ``service/*`` series into; None
+        #: disables the service-side sampler
+        self.series_path = series_path
         self._proc = None
         self._arena: SharedWeightArena | None = None
         self._handle: ServiceHandle | None = None
@@ -623,7 +653,7 @@ class ScoringService:
         )
         proc = ctx.Process(
             target=_service_main,
-            args=(self.model, handle, n_clients, self._control_q),
+            args=(self.model, handle, n_clients, self._control_q, self.series_path),
             daemon=True,
             name="repro-scoring-service",
         )

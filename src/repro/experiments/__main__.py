@@ -9,18 +9,24 @@ Usage::
     python -m repro.experiments report runs/      # render a traced run
     python -m repro.experiments list-attacks      # registry: source x strategy
     python -m repro.experiments frontier          # success vs query-budget leaderboard
+    python -m repro.experiments watch runs/       # live sparkline dashboard
+    python -m repro.experiments compare a/ b/     # regression gates, nonzero on fail
 
 Results print as aligned text tables; trained victims are cached under
 ``.cache/`` so repeated runs are fast.  Setting ``REPRO_TRACE_DIR`` (or
 ``ExperimentContext(trace_dir=...)``) records per-document attack traces
-and run metrics, which ``report`` renders as markdown.
+and run metrics, which ``report`` renders as markdown; adding
+``REPRO_TELEMETRY_PORT`` serves the run's live metrics over HTTP
+(``watch`` can point at the URL instead of a directory).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.attacks import ATTACKS
 from repro.eval.artifacts import ResultsWriter
@@ -36,7 +42,9 @@ from repro.experiments import (
     table6,
 )
 from repro.experiments.common import ExperimentContext
+from repro.obs.compare import DEFAULT_REL_TOL, compare_runs, render_compare_report
 from repro.obs.report import render_report
+from repro.obs.timeseries import load_run_series, render_dashboard
 from repro.obs.trace import validate_run_dir
 
 _ARTIFACTS = {
@@ -55,6 +63,29 @@ _ARTIFACTS = {
 
 # figure1 entries hold AttackResult objects; only tabular artifacts are saved
 _SAVEABLE = {"table2", "table3", "table4", "table5", "table6", "figure4"}
+
+
+def _run_dir_error(run_dir: str) -> str | None:
+    """One-line diagnosis of an unusable run directory, or ``None``.
+
+    ``report``/``compare`` exit nonzero with this message instead of
+    tracebacking on a typo'd or artifact-less path.
+    """
+    path = Path(run_dir)
+    if not path.is_dir():
+        return f"run directory {run_dir!r} does not exist"
+    has_artifacts = (
+        next(path.rglob("metrics.json"), None) is not None
+        or next(path.rglob("trace-*.jsonl"), None) is not None
+        or next(path.rglob("*series.jsonl"), None) is not None
+    )
+    if not has_artifacts:
+        return (
+            f"run directory {run_dir!r} holds no run artifacts "
+            f"(metrics.json, trace-*.jsonl or series.jsonl) — was the run "
+            f"traced via REPRO_TRACE_DIR / trace_dir?"
+        )
+    return None
 
 
 def _report_main(argv: list[str]) -> int:
@@ -76,9 +107,13 @@ def _report_main(argv: list[str]) -> int:
         help="write the markdown to FILE instead of stdout",
     )
     args = parser.parse_args(argv)
+    error = _run_dir_error(args.run_dir)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.validate:
         checked = validate_run_dir(args.run_dir)
-        print(f"[validated {checked} trace lines]", file=sys.stderr)
+        print(f"[validated {checked} trace/series lines]", file=sys.stderr)
     markdown = render_report(args.run_dir)
     if args.out:
         with open(args.out, "w") as fh:
@@ -87,6 +122,137 @@ def _report_main(argv: list[str]) -> int:
     else:
         print(markdown)
     return 0
+
+
+def _compare_main(argv: list[str]) -> int:
+    """``compare <run_a> <run_b>``: regression gates between two runs."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments compare",
+        description="Diff two traced run directories (metrics.json, "
+        "series.jsonl, BENCH_*.json) under relative-tolerance regression "
+        "gates; exits 1 when the candidate run regressed.",
+    )
+    parser.add_argument("run_a", help="baseline run directory")
+    parser.add_argument("run_b", help="candidate run directory")
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=DEFAULT_REL_TOL,
+        help=f"relative tolerance for every gated metric (default {DEFAULT_REL_TOL})",
+    )
+    parser.add_argument(
+        "--gate",
+        action="append",
+        metavar="NAME=TOL",
+        default=[],
+        help="per-metric tolerance override (repeatable; TOL >= 1 disables "
+        "that metric's gate)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the markdown report to FILE instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    for run_dir in (args.run_a, args.run_b):
+        error = _run_dir_error(run_dir)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    overrides: dict[str, float] = {}
+    for spec in args.gate:
+        name, sep, tol = spec.partition("=")
+        try:
+            overrides[name] = float(tol)
+        except ValueError:
+            sep = ""
+        if not sep or not name:
+            parser.error(f"--gate expects NAME=TOL, got {spec!r}")
+    comparison = compare_runs(
+        args.run_a, args.run_b, rel_tol=args.rel_tol, gate_overrides=overrides
+    )
+    markdown = render_compare_report(comparison)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown + "\n")
+        print(f"[comparison written to {args.out}]", file=sys.stderr)
+    else:
+        print(markdown)
+    if not comparison.ok:
+        names = ", ".join(d.name for d in comparison.regressions)
+        print(f"[{len(comparison.regressions)} regression(s): {names}]", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _fetch_url_json(url: str):
+    """GET a JSON endpoint; an HTTP error status still yields its body
+    (``/healthz`` answers 503 with the health payload when stale)."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return json.loads(exc.read())
+
+
+def _watch_frame(target: str, width: int) -> str:
+    if target.startswith(("http://", "https://")):
+        base = target.rstrip("/")
+        points = _fetch_url_json(base + "/series.json")
+        health = _fetch_url_json(base + "/healthz")
+        return render_dashboard(points, width=width, health=health)
+    return render_dashboard(load_run_series(target), width=width)
+
+
+def _watch_main(argv: list[str]) -> int:
+    """``watch <run_dir|url>``: live sparkline dashboard of a run."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments watch",
+        description="Live terminal dashboard for a running (or finished) "
+        "attack run: sparklines of docs/s, success rate, cache hits, "
+        "delta savings and scoring-service vitals, from a run directory's "
+        "series.jsonl or a telemetry exporter URL.",
+    )
+    parser.add_argument(
+        "target",
+        help="run directory (trace_dir / REPRO_TRACE_DIR) or exporter URL "
+        "(http://host:port from REPRO_TELEMETRY_PORT)",
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    parser.add_argument(
+        "--width", type=int, default=48, help="sparkline width in characters"
+    )
+    args = parser.parse_args(argv)
+    is_url = args.target.startswith(("http://", "https://"))
+    if not is_url:
+        error = _run_dir_error(args.target)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        while True:
+            try:
+                frame = _watch_frame(args.target, args.width)
+            except OSError as exc:
+                frame = f"[exporter unreachable: {exc}]\n"
+            if args.once:
+                print(frame, end="")
+                return 0
+            # clear screen + home, then the frame — a poor man's curses
+            print("\x1b[2J\x1b[H" + f"[watch {args.target}]\n\n" + frame, end="", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _frontier_main(argv: list[str]) -> int:
@@ -156,8 +322,30 @@ def _list_attacks_main(argv: list[str]) -> int:
         "source, search strategy, delta-scoring eligibility and paper "
         "reference.",
     )
-    parser.parse_args(argv)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable dump (name, needs, params, delta, ...) for "
+        "tooling and the dashboard",
+    )
+    args = parser.parse_args(argv)
     specs = [ATTACKS[name] for name in sorted(ATTACKS)]
+    if args.json:
+        payload = [
+            {
+                "name": s.name,
+                "source": s.source,
+                "strategy": s.strategy,
+                "delta": s.delta,
+                "paper": s.paper,
+                "summary": s.summary,
+                "needs": list(s.needs),
+                "params": list(s.params),
+            }
+            for s in specs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
     headers = ("name", "source", "strategy", "delta", "paper")
     rows = [(s.name, s.source, s.strategy, s.delta, s.paper) for s in specs]
     widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
@@ -173,10 +361,14 @@ def _list_attacks_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # `report`, `list-attacks` and `frontier` are verbs, not artifacts:
-    # dispatch before the artifact parser
+    # `report`, `compare`, `watch`, `list-attacks` and `frontier` are
+    # verbs, not artifacts: dispatch before the artifact parser
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] == "compare":
+        return _compare_main(argv[1:])
+    if argv and argv[0] == "watch":
+        return _watch_main(argv[1:])
     if argv and argv[0] == "list-attacks":
         return _list_attacks_main(argv[1:])
     if argv and argv[0] == "frontier":

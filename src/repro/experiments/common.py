@@ -51,6 +51,7 @@ from repro.eval.perf import PerfRecorder
 from repro.eval.progress import ProgressPrinter
 from repro.models import GRUClassifier, LSTMClassifier, TextClassifier, TrainConfig, WCNN, fit
 from repro.nn.serialization import load, save
+from repro.obs.exporter import TelemetryServer, resolve_telemetry_port
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import PhaseProfiler
 from repro.obs.trace import TRACE_DIR_ENV
@@ -135,6 +136,7 @@ class ExperimentContext:
         trace_dir: str | os.PathLike | None = None,
         scoring_service: bool | None = None,
         delta_scoring: bool | None = None,
+        telemetry_port: int | None = None,
     ) -> None:
         self.settings = settings or ExperimentSettings()
         default_cache = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
@@ -175,6 +177,14 @@ class ExperimentContext:
         #: inside the runner, so the flag reaches every driver without
         #: code changes.
         self.delta_scoring = delta_scoring
+        #: live-telemetry HTTP exporter port (repro.obs.exporter); None
+        #: defers to REPRO_TELEMETRY_PORT (0 = ephemeral port).  The
+        #: context owns one TelemetryServer for its whole lifetime, so the
+        #: endpoints keep serving the last cell's frozen final state
+        #: between evaluate_attack calls — post-run scrapes match
+        #: metrics.json.
+        self.telemetry_port = resolve_telemetry_port(telemetry_port)
+        self._telemetry: TelemetryServer | None = None
         self._datasets: dict[str, TextDataset] = {}
         self._lexicons: dict[str, DomainLexicon] = {}
         self._vectors: dict[str, dict[str, np.ndarray]] = {}
@@ -410,10 +420,26 @@ class ExperimentContext:
             return None
         return self.trace_dir / tag
 
+    @property
+    def telemetry(self) -> TelemetryServer | None:
+        """The context-owned live HTTP exporter (started on first access).
+
+        ``None`` unless ``telemetry_port``/``REPRO_TELEMETRY_PORT`` is
+        set.  With an ephemeral port (0), read the bound one from
+        :attr:`TelemetryServer.port` / :attr:`TelemetryServer.url`.
+        """
+        if self.telemetry_port is None:
+            return None
+        if self._telemetry is None:
+            self._telemetry = TelemetryServer(port=self.telemetry_port)
+            self._telemetry.start()
+        return self._telemetry
+
     def eval_kwargs(self, tag: str) -> dict:
         """Observability/fault-tolerance keywords every driver passes to
         evaluate_attack: worker count, heartbeat callback, the ``tag``'s
-        journal file, and its trace directory."""
+        journal file, its trace directory, and the live telemetry
+        exporter."""
         return {
             "n_workers": self.n_workers,
             "progress": self.progress,
@@ -421,6 +447,7 @@ class ExperimentContext:
             "trace_dir": self.trace_path(tag),
             "scoring_service": self.scoring_service,
             "delta_scoring": self.delta_scoring,
+            "telemetry": self.telemetry,
         }
 
     def attack_runner(

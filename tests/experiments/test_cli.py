@@ -1,11 +1,14 @@
 """Tests for the command-line entry point."""
 
+import json
+import shutil
+
 import pytest
 
 from repro.attacks import ATTACKS
 from repro.experiments.__main__ import _ARTIFACTS, main
 from repro.obs.registry import MetricsRegistry
-from repro.obs.report import write_run_metrics
+from repro.obs.report import METRICS_FILENAME, write_run_metrics
 from repro.obs.trace import DocumentTrace, TraceSchemaError
 
 
@@ -74,6 +77,18 @@ class TestListAttacksCli:
         with pytest.raises(SystemExit):
             main(["list-attacks", "--bogus"])
 
+    def test_json_dump_is_machine_readable(self, capsys):
+        assert main(["list-attacks", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload} == set(ATTACKS)
+        for entry in payload:
+            spec = ATTACKS[entry["name"]]
+            assert entry["source"] == spec.source
+            assert entry["strategy"] == spec.strategy
+            assert entry["delta"] == spec.delta
+            assert entry["needs"] == list(spec.needs)
+            assert entry["params"] == list(spec.params)
+
 
 @pytest.fixture
 def traced_run(tmp_path):
@@ -106,7 +121,7 @@ class TestReportCli:
 
     def test_report_validate_counts_lines(self, capsys, traced_run):
         assert main(["report", str(traced_run), "--validate"]) == 0
-        assert "[validated 3 trace lines]" in capsys.readouterr().err
+        assert "[validated 3 trace/series lines]" in capsys.readouterr().err
 
     def test_report_validate_rejects_bad_trace(self, traced_run):
         (traced_run / "trace-000001.jsonl").write_text('{"v": 1, "kind": "bogus"}\n')
@@ -122,3 +137,98 @@ class TestReportCli:
     def test_report_requires_run_dir(self):
         with pytest.raises(SystemExit):
             main(["report"])
+
+    def test_report_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "does not exist" in err
+
+    def test_report_empty_dir_exits_2(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no run artifacts" in err
+
+
+@pytest.fixture
+def comparable_run(tmp_path):
+    """A run dir with enough metrics for the compare verb to gate on."""
+    run_dir = tmp_path / "baseline"
+    run_dir.mkdir()
+    reg = MetricsRegistry()
+    for _ in range(4):
+        reg.inc("attack/docs")
+    reg.inc("attack/successes", 3)
+    reg.inc("attack/n_queries", 200)
+    reg.set_gauge("run/docs_per_second", 2.5)
+    write_run_metrics(run_dir, reg.snapshot())
+    return run_dir
+
+
+class TestCompareCli:
+    def test_identical_runs_pass(self, capsys, comparable_run, tmp_path):
+        copy = tmp_path / "candidate"
+        shutil.copytree(comparable_run, copy)
+        assert main(["compare", str(comparable_run), str(copy)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run comparison" in out
+        assert "**PASS**" in out
+
+    def test_doctored_regression_fails(self, capsys, comparable_run, tmp_path):
+        copy = tmp_path / "candidate"
+        shutil.copytree(comparable_run, copy)
+        payload = json.loads((copy / METRICS_FILENAME).read_text())
+        payload["run"]["gauges"]["run/docs_per_second"] *= 0.7  # -30% throughput
+        (copy / METRICS_FILENAME).write_text(json.dumps(payload))
+        assert main(["compare", str(comparable_run), str(copy)]) == 1
+        captured = capsys.readouterr()
+        assert "**FAIL**" in captured.out
+        assert "docs_per_second" in captured.err
+
+    def test_gate_override_can_disable(self, comparable_run, tmp_path):
+        copy = tmp_path / "candidate"
+        shutil.copytree(comparable_run, copy)
+        payload = json.loads((copy / METRICS_FILENAME).read_text())
+        payload["run"]["gauges"]["run/docs_per_second"] *= 0.7
+        (copy / METRICS_FILENAME).write_text(json.dumps(payload))
+        assert main(["compare", str(comparable_run), str(copy), "--gate", "docs_per_second=1"]) == 0
+
+    def test_missing_dir_exits_2(self, capsys, comparable_run, tmp_path):
+        assert main(["compare", str(comparable_run), str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_gate_spec_rejected(self, comparable_run):
+        with pytest.raises(SystemExit):
+            main(["compare", str(comparable_run), str(comparable_run), "--gate", "oops"])
+
+    def test_out_writes_markdown(self, capsys, comparable_run, tmp_path):
+        copy = tmp_path / "candidate"
+        shutil.copytree(comparable_run, copy)
+        out_file = tmp_path / "compare.md"
+        assert main(["compare", str(comparable_run), str(copy), "--out", str(out_file)]) == 0
+        assert out_file.read_text().startswith("# Run comparison")
+        assert capsys.readouterr().out == ""
+
+
+class TestWatchCli:
+    def test_watch_once_renders_dashboard(self, capsys, tmp_path):
+        from repro.obs.timeseries import TimeSeriesSampler
+
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(
+            reg.snapshot, path=tmp_path / "series.jsonl", interval_seconds=0.001
+        )
+        reg.inc("attack/docs", 2)
+        reg.set_gauge("run/done", 2)
+        sampler.sample()
+        reg.inc("attack/docs", 3)
+        reg.set_gauge("run/done", 5)
+        sampler.close()
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "docs done" in out
+
+    def test_watch_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["watch", str(tmp_path / "nope"), "--once"]) == 2
+        assert "does not exist" in capsys.readouterr().err
