@@ -1,7 +1,29 @@
-"""Defenses: adversarial training (paper Table 5) and randomized synonym
-smoothing (extension)."""
+"""Defenses: adversarial training (paper Table 5), randomized synonym
+smoothing (extension), and the declarative registry that makes them a
+first-class axis of the run-matrix engine (``repro.experiments.grid``)."""
 
-from repro.defense.adversarial_training import AdversarialTrainingResult, adversarial_training
+from repro.defense.adversarial_training import (
+    AdversarialTrainingResult,
+    adversarial_training,
+    craft_augmentation,
+)
+from repro.defense.registry import (
+    DEFENSES,
+    Defense,
+    DefenseResources,
+    DefenseSpec,
+    build_defense,
+)
 from repro.defense.smoothing import SmoothedClassifier
 
-__all__ = ["AdversarialTrainingResult", "adversarial_training", "SmoothedClassifier"]
+__all__ = [
+    "AdversarialTrainingResult",
+    "adversarial_training",
+    "craft_augmentation",
+    "Defense",
+    "DefenseResources",
+    "DefenseSpec",
+    "DEFENSES",
+    "build_defense",
+    "SmoothedClassifier",
+]

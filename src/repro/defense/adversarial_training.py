@@ -18,7 +18,7 @@ from repro.eval.metrics import AttackEvaluation, evaluate_attack
 from repro.models.base import TextClassifier
 from repro.models.train import TrainConfig, fit
 
-__all__ = ["AdversarialTrainingResult", "adversarial_training"]
+__all__ = ["AdversarialTrainingResult", "adversarial_training", "craft_augmentation"]
 
 
 @dataclass
@@ -39,6 +39,31 @@ class AdversarialTrainingResult:
             "adv_before": self.adv_before,
             "adv_after": self.adv_after,
         }
+
+
+def craft_augmentation(
+    attack: Attack,
+    dataset: TextDataset,
+    augment_fraction: float = 0.2,
+    seed: int = 0,
+) -> list[Example]:
+    """Attack a random training subsample; return the augmentation set.
+
+    Each crafted document keeps its *corrected* label (the adversarial
+    text still means the same thing).  Shared by :func:`adversarial_training`
+    and :class:`~repro.defense.registry.AdversarialTrainingDefense` so
+    Table 5 and the tournament's ``adv_training`` axis harden victims
+    identically.
+    """
+    if not 0.0 < augment_fraction <= 1.0:
+        raise ValueError("augment_fraction must be in (0, 1]")
+    n_augment = max(1, int(augment_fraction * len(dataset.train)))
+    pool = dataset.subsample("train", n_augment, seed=seed)
+    augmented: list[Example] = []
+    for ex in pool:
+        result = attack.attack(list(ex.tokens), 1 - ex.label)
+        augmented.append(Example(tuple(result.adversarial), ex.label))
+    return augmented
 
 
 def adversarial_training(
@@ -68,14 +93,9 @@ def adversarial_training(
     )
 
     # --- generate adversarial training data -----------------------------
-    n_augment = max(1, int(augment_fraction * len(dataset.train)))
-    pool = dataset.subsample("train", n_augment, seed=seed)
-    attack = attack_factory(model)
-    augmented: list[Example] = []
-    for ex in pool:
-        result = attack.attack(list(ex.tokens), 1 - ex.label)
-        # corrected label: the adversarial text still means the same thing
-        augmented.append(Example(tuple(result.adversarial), ex.label))
+    augmented = craft_augmentation(
+        attack_factory(model), dataset, augment_fraction=augment_fraction, seed=seed
+    )
 
     # --- retrain on the augmented set ------------------------------------
     model_after = model_factory()

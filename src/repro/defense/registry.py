@@ -1,0 +1,241 @@
+"""Declarative defense registry: name → :class:`DefenseSpec`.
+
+Mirror of :mod:`repro.attacks.registry` for the defense axis: the
+robustness tournament and the run-matrix engine
+(:mod:`repro.experiments.grid`) cross every registry attack with every
+registry *defense*, so defenses need the same first-class treatment —
+stable names, params metadata, and a uniform build/apply protocol —
+instead of each driver hand-wiring ``adversarial_training`` or
+``SmoothedClassifier`` directly.
+
+A built :class:`Defense` is applied in two phases:
+
+- :meth:`Defense.retrain` (training-time hardening) — given the trained
+  base victim and a :class:`DefenseResources` bundle, return the model
+  the deployment actually ships.  Only defenses with ``retrains = True``
+  do work here (adversarial training); the rest return the model
+  unchanged.
+- :meth:`Defense.wrap` (inference-time hardening) — wrap the (possibly
+  retrained) model into the victim the attack targets.  Synonym
+  smoothing returns a :class:`~repro.defense.smoothing.SmoothedClassifier`;
+  parameter-space defenses return the model itself.
+
+``DefenseResources`` carries everything a defense may consume — corpus,
+lexicon, train config, fresh-model and attack factories — so this module
+never imports the experiments layer; the grid runner assembles the bundle
+from its :class:`~repro.experiments.common.ExperimentContext`.
+
+Specs and defense instances are plain picklable objects, like
+:class:`~repro.attacks.registry.AttackSpec`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.attacks.base import Attack
+from repro.data.datasets import TextDataset
+from repro.data.lexicon import DomainLexicon
+from repro.defense.adversarial_training import craft_augmentation
+from repro.defense.smoothing import SmoothedClassifier
+from repro.models.base import TextClassifier
+from repro.models.train import TrainConfig, fit
+
+__all__ = [
+    "Defense",
+    "DefenseResources",
+    "DefenseSpec",
+    "DEFENSES",
+    "build_defense",
+]
+
+
+@dataclass
+class DefenseResources:
+    """Everything a defense may draw on when retraining or wrapping.
+
+    Assembled by the caller (the grid runner builds it from its
+    experiment context); individual defenses read only what they need —
+    smoothing the lexicon, adversarial training the corpus and the two
+    factories.
+    """
+
+    dataset: TextDataset
+    lexicon: DomainLexicon
+    train_config: TrainConfig
+    #: a fresh, *untrained* victim of the cell's architecture
+    model_factory: Callable[[], TextClassifier]
+    #: the attack used to craft training-time adversarial examples,
+    #: bound to whatever model it is handed
+    attack_factory: Callable[[TextClassifier], Attack]
+    seed: int = 0
+
+
+class Defense:
+    """Base defense: the identity on both phases.
+
+    Subclasses override :meth:`retrain` (and set ``retrains = True``)
+    for training-time hardening, :meth:`wrap` for inference-time
+    hardening, or both.  :meth:`cache_key` identifies the retrained
+    artifact so grid runs share one hardened victim across every attack
+    cell that uses it.
+    """
+
+    name = "none"
+    #: whether :meth:`retrain` does real work (the grid runner memoizes
+    #: and disk-caches retrained victims keyed by :meth:`cache_key`)
+    retrains = False
+
+    def retrain(
+        self, model: TextClassifier, resources: DefenseResources
+    ) -> TextClassifier:
+        """Return the hardened replacement for the trained victim."""
+        return model
+
+    def wrap(self, model: TextClassifier, resources: DefenseResources):
+        """Return the inference-time victim the attack actually targets."""
+        return model
+
+    def params(self) -> dict:
+        """The constructor parameters, for cache keys and ``--json``."""
+        return {}
+
+    def cache_key(self) -> str:
+        items = "_".join(f"{k}{v}" for k, v in sorted(self.params().items()))
+        return f"{self.name}_{items}" if items else self.name
+
+
+class NoDefense(Defense):
+    """The undefended baseline — every tournament needs its control row."""
+
+    name = "none"
+
+
+class AdversarialTrainingDefense(Defense):
+    """Paper Sec. 6.6: retrain on attack-crafted, label-corrected examples."""
+
+    name = "adv_training"
+    retrains = True
+
+    def __init__(self, augment_fraction: float = 0.2) -> None:
+        if not 0.0 < augment_fraction <= 1.0:
+            raise ValueError("augment_fraction must be in (0, 1]")
+        self.augment_fraction = augment_fraction
+
+    def params(self) -> dict:
+        return {"augment_fraction": self.augment_fraction}
+
+    def retrain(
+        self, model: TextClassifier, resources: DefenseResources
+    ) -> TextClassifier:
+        augmented = craft_augmentation(
+            resources.attack_factory(model),
+            resources.dataset,
+            augment_fraction=self.augment_fraction,
+            seed=resources.seed,
+        )
+        hardened = resources.model_factory()
+        fit(hardened, resources.dataset.train + augmented, resources.train_config)
+        return hardened
+
+
+class SynonymSmoothingDefense(Defense):
+    """Randomized synonym smoothing: majority-vote inference hardening."""
+
+    name = "smoothing"
+
+    def __init__(
+        self,
+        n_samples: int = 9,
+        substitution_prob: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self.n_samples = n_samples
+        self.substitution_prob = substitution_prob
+        self.seed = seed
+
+    def params(self) -> dict:
+        return {
+            "n_samples": self.n_samples,
+            "substitution_prob": self.substitution_prob,
+            "seed": self.seed,
+        }
+
+    def wrap(self, model: TextClassifier, resources: DefenseResources):
+        return SmoothedClassifier(
+            model,
+            resources.lexicon,
+            n_samples=self.n_samples,
+            substitution_prob=self.substitution_prob,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """One named defense: metadata plus a picklable builder.
+
+    ``kind`` names the phase that does the work (``baseline`` /
+    ``training`` / ``inference``); ``params`` the builder keywords;
+    ``needs`` which :class:`DefenseResources` fields the defense reads,
+    so callers (and the ``list-defenses`` CLI) can see the wiring
+    without reading the implementation.  ``black_box`` marks defenses
+    whose victims expose no gradients — gradient-based attacks against
+    them fail per-document (recorded as structured failures) rather
+    than aborting a grid.
+    """
+
+    name: str
+    kind: str  # "baseline" | "training" | "inference"
+    reference: str
+    summary: str
+    builder: Callable[..., Defense]
+    params: tuple[str, ...] = field(default_factory=tuple)
+    needs: tuple[str, ...] = field(default_factory=tuple)
+    black_box: bool = False
+
+
+DEFENSES: dict[str, DefenseSpec] = {
+    "none": DefenseSpec(
+        name="none",
+        kind="baseline",
+        reference="—",
+        summary="undefended victim, the tournament's control row",
+        builder=NoDefense,
+    ),
+    "adv_training": DefenseSpec(
+        name="adv_training",
+        kind="training",
+        reference="paper Sec. 6.6 (Table 5)",
+        summary="retrain on attack-crafted, label-corrected adversarial examples",
+        builder=AdversarialTrainingDefense,
+        params=("augment_fraction",),
+        needs=("dataset", "model_factory", "attack_factory", "train_config", "seed"),
+    ),
+    "smoothing": DefenseSpec(
+        name="smoothing",
+        kind="inference",
+        reference="randomized-smoothing analog (SAFER-style)",
+        summary="majority vote over randomized synonym-substituted copies",
+        builder=SynonymSmoothingDefense,
+        params=("n_samples", "substitution_prob", "seed"),
+        needs=("lexicon",),
+        black_box=True,
+    ),
+}
+
+
+def build_defense(name: str, **params) -> Defense:
+    """Instantiate a registry defense by name.
+
+    Unknown names raise ``KeyError`` with the available choices; unknown
+    parameters raise ``TypeError`` from the builder as usual.
+    """
+    try:
+        spec = DEFENSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown defense {name!r}; choose from {sorted(DEFENSES)}"
+        ) from None
+    return spec.builder(**params)

@@ -11,12 +11,38 @@ Module             Paper artifact
 ``table6``         Table 6 — dataset statistics
 ``examples_gallery``  Figure 1 — adversarial text examples
 ``frontier``       query-efficiency frontier (beyond the paper)
+``tournament``     attacks × defenses × models robustness tournament
 =================  =============================================
 
-All drivers consume an :class:`~repro.experiments.common.ExperimentContext`
+Each driver is a :class:`~repro.experiments.grid.RunMatrix` declaration
+executed by the shared :class:`~repro.experiments.grid.GridRunner`; all
+of them consume an :class:`~repro.experiments.common.ExperimentContext`
 so datasets and trained models are built once and shared.
 """
 
 from repro.experiments.common import DATASETS, MODELS, ExperimentContext, ExperimentSettings
+from repro.experiments.grid import (
+    Cell,
+    CellOverride,
+    CellResult,
+    GridRunner,
+    MatrixAttack,
+    MatrixDefense,
+    ResultFrame,
+    RunMatrix,
+)
 
-__all__ = ["ExperimentContext", "ExperimentSettings", "DATASETS", "MODELS"]
+__all__ = [
+    "ExperimentContext",
+    "ExperimentSettings",
+    "DATASETS",
+    "MODELS",
+    "RunMatrix",
+    "GridRunner",
+    "MatrixAttack",
+    "MatrixDefense",
+    "CellOverride",
+    "Cell",
+    "CellResult",
+    "ResultFrame",
+]

@@ -8,7 +8,9 @@ Usage::
     python -m repro.experiments table3 --save results/   # + JSON/CSV dumps
     python -m repro.experiments report runs/      # render a traced run
     python -m repro.experiments list-attacks      # registry: source x strategy
+    python -m repro.experiments list-defenses     # defense registry
     python -m repro.experiments frontier          # success vs query-budget leaderboard
+    python -m repro.experiments tournament        # attacks x defenses x models
     python -m repro.experiments watch runs/       # live sparkline dashboard
     python -m repro.experiments compare a/ b/     # regression gates, nonzero on fail
 
@@ -29,6 +31,7 @@ import time
 from pathlib import Path
 
 from repro.attacks import ATTACKS
+from repro.defense import DEFENSES
 from repro.eval.artifacts import ResultsWriter
 from repro.experiments import (
     appendix_examples,
@@ -40,6 +43,7 @@ from repro.experiments import (
     table4,
     table5,
     table6,
+    tournament,
 )
 from repro.experiments.common import ExperimentContext
 from repro.obs.compare import DEFAULT_REL_TOL, compare_runs, render_compare_report
@@ -314,6 +318,142 @@ def _frontier_main(argv: list[str]) -> int:
     return 0
 
 
+def _tournament_main(argv: list[str]) -> int:
+    """``tournament``: attacks × defenses × models cross + transfer matrix."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments tournament",
+        description="Robustness tournament: every attack × defense × victim "
+        "cell plus a cross-architecture transferability matrix, rendered as "
+        "a markdown leaderboard.  With REPRO_TRACE_DIR set, the standing "
+        "gauges land in a tournament_summary cell that `compare` can gate.",
+    )
+    parser.add_argument(
+        "--attacks",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        choices=sorted(ATTACKS),
+        help="registry attacks to enter "
+        f"(default: {' '.join(tournament.DEFAULT_ATTACKS)})",
+    )
+    parser.add_argument(
+        "--defenses",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        choices=sorted(DEFENSES),
+        help="registry defenses to cross (default: the whole registry)",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        metavar="ARCH",
+        default=["wcnn", "lstm"],
+        choices=["wcnn", "lstm", "gru"],
+        help="victim architectures (default: wcnn lstm)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        metavar="NAME",
+        default=["yelp"],
+        help="corpora to attack (default: yelp)",
+    )
+    parser.add_argument(
+        "--max-examples", type=int, default=12, help="corpus slice size per cell"
+    )
+    parser.add_argument(
+        "--no-transfer",
+        action="store_true",
+        help="skip the cross-architecture transfer replay",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the markdown leaderboard to FILE instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    context = ExperimentContext()
+    start = time.perf_counter()
+    result = tournament.run(
+        context,
+        max_examples=args.max_examples,
+        datasets=tuple(args.datasets),
+        models=tuple(args.models),
+        attacks=tuple(args.attacks) if args.attacks else tournament.DEFAULT_ATTACKS,
+        defenses=tuple(args.defenses) if args.defenses else None,
+        transfer=not args.no_transfer,
+    )
+    print(
+        f"[tournament done in {time.perf_counter() - start:.1f}s: "
+        f"{len(result.cells)} cells, {len(result.transfers)} transfer cells]",
+        file=sys.stderr,
+    )
+    markdown = tournament.leaderboard(result)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown + "\n")
+        print(f"[leaderboard written to {args.out}]", file=sys.stderr)
+    else:
+        print(markdown)
+    return 0
+
+
+def _list_defenses_main(argv: list[str]) -> int:
+    """``list-defenses``: print the defense registry."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments list-defenses",
+        description="List the defense registry: every name with its kind "
+        "(training-time vs inference-time), parameters, resource needs and "
+        "reference.",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable dump (name, kind, params, needs, black_box, "
+        "...) for tooling and the dashboard",
+    )
+    args = parser.parse_args(argv)
+    specs = [DEFENSES[name] for name in sorted(DEFENSES)]
+    if args.json:
+        payload = [
+            {
+                "name": s.name,
+                "kind": s.kind,
+                "reference": s.reference,
+                "summary": s.summary,
+                "params": list(s.params),
+                "needs": list(s.needs),
+                "black_box": s.black_box,
+            }
+            for s in specs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    headers = ("name", "kind", "black box", "params", "reference")
+    rows = [
+        (
+            s.name,
+            s.kind,
+            "yes" if s.black_box else "no",
+            ", ".join(s.params) or "—",
+            s.reference,
+        )
+        for s in specs
+    ]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    print(fmt.format(*headers))
+    print(fmt.format(*("-" * w for w in widths)))
+    for row in rows:
+        print(fmt.format(*row))
+    print(
+        f"\n{len(specs)} defenses; build one with repro.defense.build_defense(name, ...)"
+    )
+    return 0
+
+
 def _list_attacks_main(argv: list[str]) -> int:
     """``list-attacks``: print the registry as a source × strategy table."""
     parser = argparse.ArgumentParser(
@@ -361,8 +501,9 @@ def _list_attacks_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # `report`, `compare`, `watch`, `list-attacks` and `frontier` are
-    # verbs, not artifacts: dispatch before the artifact parser
+    # `report`, `compare`, `watch`, `list-attacks`, `list-defenses`,
+    # `frontier` and `tournament` are verbs, not artifacts: dispatch
+    # before the artifact parser
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
     if argv and argv[0] == "compare":
@@ -371,8 +512,12 @@ def main(argv: list[str] | None = None) -> int:
         return _watch_main(argv[1:])
     if argv and argv[0] == "list-attacks":
         return _list_attacks_main(argv[1:])
+    if argv and argv[0] == "list-defenses":
+        return _list_defenses_main(argv[1:])
     if argv and argv[0] == "frontier":
         return _frontier_main(argv[1:])
+    if argv and argv[0] == "tournament":
+        return _tournament_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",

@@ -14,9 +14,10 @@ from dataclasses import dataclass
 
 from repro.attacks.base import AttackResult
 from repro.experiments.common import DATASETS, ExperimentContext
+from repro.experiments.grid import GridRunner, RunMatrix
 from repro.text.tokenizer import detokenize
 
-__all__ = ["MethodComparison", "run", "render", "main"]
+__all__ = ["MethodComparison", "matrix", "run", "render", "main"]
 
 _METHODS = ("joint", "objective-greedy", "gradient")
 
@@ -37,10 +38,11 @@ def run(
     arch: str = "wcnn",
 ) -> list[MethodComparison]:
     """One per-dataset comparison across attack methods."""
-    comparisons: list[MethodComparison] = []
-    for dataset in datasets:
-        model = context.model(dataset, arch)
-        ds = context.dataset(dataset)
+
+    def compare(runner: GridRunner, cell) -> MethodComparison | None:
+        context = runner.context
+        model = context.model(cell.dataset, cell.arch)
+        ds = context.dataset(cell.dataset)
         docs = ds.documents("test")
         labels = ds.labels("test")
         preds = model.predict(docs)
@@ -48,23 +50,28 @@ def run(
             (i for i in range(len(docs)) if preds[i] == labels[i]), None
         )
         if idx is None:
-            continue
+            return None
         target = int(1 - labels[idx])
         results = {
-            method: context.make_attack(method, model, dataset).attack(docs[idx], target)
+            method: context.make_attack(method, model, cell.dataset).attack(docs[idx], target)
             for method in _METHODS
         }
-        comparisons.append(
-            MethodComparison(
-                dataset=dataset,
-                model=arch,
-                original=docs[idx],
-                original_label=int(labels[idx]),
-                results=results,
-                class_names=ds.class_names,
-            )
+        return MethodComparison(
+            dataset=cell.dataset,
+            model=cell.arch,
+            original=docs[idx],
+            original_label=int(labels[idx]),
+            results=results,
+            class_names=ds.class_names,
         )
-    return comparisons
+
+    frame = GridRunner(context).run(matrix(datasets, arch), cell_fn=compare)
+    return [result.value for result in frame if result.value is not None]
+
+
+def matrix(datasets: tuple[str, ...] = DATASETS, arch: str = "wcnn") -> RunMatrix:
+    """The appendix grid: one single-document comparison cell per corpus."""
+    return RunMatrix(name="appendix", datasets=datasets, models=(arch,))
 
 
 def render(comparisons: list[MethodComparison]) -> str:

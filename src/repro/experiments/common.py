@@ -75,6 +75,17 @@ METHOD_ALIASES = {
     "random": "random_word",
 }
 
+# The aliases live here but the registry lives in repro.attacks — the two
+# have drifted before (a renamed registry entry leaves a dangling alias
+# that only explodes when some driver uses it).  Fail at import instead.
+_dangling = {a: t for a, t in METHOD_ALIASES.items() if t not in ATTACKS}
+if _dangling:
+    raise ImportError(
+        f"METHOD_ALIASES targets missing from repro.attacks.ATTACKS: "
+        f"{_dangling} (registry has {sorted(ATTACKS)})"
+    )
+del _dangling
+
 DATASETS = ("news", "trec07p", "yelp")
 MODELS = ("wcnn", "lstm")
 

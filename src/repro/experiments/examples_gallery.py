@@ -12,12 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.attacks.base import AttackResult
-from repro.eval.metrics import evaluate_attack
 from repro.eval.reporting import render_word_diff
 from repro.experiments.common import DATASETS, ExperimentContext
+from repro.experiments.grid import GridRunner, MatrixAttack, RunMatrix
 from repro.text.tokenizer import detokenize
 
-__all__ = ["GalleryEntry", "run", "render_entry", "main"]
+__all__ = ["GalleryEntry", "matrix", "run", "render_entry", "main"]
 
 
 @dataclass
@@ -28,6 +28,21 @@ class GalleryEntry:
     class_names: tuple[str, str]
 
 
+def matrix(
+    datasets: tuple[str, ...] = DATASETS,
+    arch: str = "wcnn",
+    max_examples: int = 30,
+) -> RunMatrix:
+    """The gallery grid: one joint-attack cell per corpus."""
+    return RunMatrix(
+        name="gallery",
+        datasets=datasets,
+        models=(arch,),
+        attacks=(MatrixAttack.of("joint"),),
+        max_examples=max_examples,
+    )
+
+
 def run(
     context: ExperimentContext,
     per_dataset: int = 2,
@@ -36,17 +51,11 @@ def run(
     max_examples: int = 30,
 ) -> list[GalleryEntry]:
     """Collect successful attacks to display."""
+    frame = GridRunner(context).run(matrix(datasets, arch, max_examples))
     entries: list[GalleryEntry] = []
     for dataset in datasets:
-        model = context.model(dataset, arch)
         ds = context.dataset(dataset)
-        ev = evaluate_attack(
-            model,
-            context.make_attack("joint", model, dataset),
-            ds.test,
-            max_examples=max_examples,
-            **context.eval_kwargs(f"gallery_{dataset}_{arch}_joint"),
-        )
+        ev = frame.get(dataset=dataset, attack="joint").evaluation
         wins = [r for r in ev.results if r.success][:per_dataset]
         entries.extend(
             GalleryEntry(dataset, arch, r, ds.class_names) for r in wins

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.eval.metrics import evaluate_attack
 from repro.eval.reporting import format_percent, format_table
 from repro.experiments.common import DATASETS, ExperimentContext
+from repro.experiments.grid import GridRunner, MatrixAttack, RunMatrix
 
-__all__ = ["Figure4Point", "run", "main"]
+__all__ = ["Figure4Point", "matrix", "run", "main"]
 
 
 @dataclass
@@ -26,6 +26,35 @@ class Figure4Point:
     sentence_budget: float
     word_budget: float
     success_rate: float
+
+
+def matrix(
+    max_examples: int = 24,
+    datasets: tuple[str, ...] = DATASETS,
+    sentence_budgets: tuple[float, ...] = (0.0, 0.3, 0.6),
+    word_budgets: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3),
+    arch: str = "lstm",
+) -> RunMatrix:
+    """The Figure-4 sweep as a grid — one attack axis value per (λ_s, λ_w).
+
+    The zero-budget corner (λ_s = λ_w = 0) is not a cell: with no edits
+    allowed its success rate is 0 by definition, so :func:`run` fills the
+    point in without an evaluation, exactly as the loop always did.
+    """
+    return RunMatrix(
+        name="figure4",
+        datasets=datasets,
+        models=(arch,),
+        attacks=tuple(
+            MatrixAttack.of(
+                "joint", label=f"ls{ls}_lw{lw}", word_budget=lw, sentence_budget=ls
+            )
+            for ls in sentence_budgets
+            for lw in word_budgets
+            if not (ls == 0.0 and lw == 0.0)
+        ),
+        max_examples=max_examples,
+    )
 
 
 def run(
@@ -37,24 +66,18 @@ def run(
     arch: str = "lstm",
 ) -> list[Figure4Point]:
     """The full sweep; one point per (dataset, λ_s, λ_w)."""
+    grid = matrix(max_examples, datasets, sentence_budgets, word_budgets, arch)
+    # an all-zero sweep has no attack cells at all; every point is the
+    # synthesized zero corner below
+    frame = GridRunner(context).run(grid) if grid.attacks else None
     points: list[Figure4Point] = []
     for dataset in datasets:
-        model = context.model(dataset, arch)
-        test = context.dataset(dataset).test
         for ls in sentence_budgets:
             for lw in word_budgets:
                 if ls == 0.0 and lw == 0.0:
                     points.append(Figure4Point(dataset, ls, lw, 0.0))
                     continue
-                ev = evaluate_attack(
-                    model,
-                    context.make_attack(
-                        "joint", model, dataset, word_budget=lw, sentence_budget=ls
-                    ),
-                    test,
-                    max_examples=max_examples,
-                    **context.eval_kwargs(f"figure4_{dataset}_{arch}_ls{ls}_lw{lw}"),
-                )
+                ev = frame.get(dataset=dataset, attack=f"ls{ls}_lw{lw}").evaluation
                 points.append(Figure4Point(dataset, ls, lw, ev.success_rate))
     return points
 

@@ -27,12 +27,12 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 from repro.attacks import ATTACKS
-from repro.eval.metrics import evaluate_attack
 from repro.eval.reporting import format_percent, format_table
 from repro.experiments.common import ExperimentContext
+from repro.experiments.grid import GridRunner, MatrixAttack, RunMatrix
 from repro.obs.report import render_frontier_leaderboard
 
-__all__ = ["FrontierPoint", "DEFAULT_BUDGETS", "run", "render", "leaderboard", "curves", "main"]
+__all__ = ["FrontierPoint", "DEFAULT_BUDGETS", "matrix", "run", "render", "leaderboard", "curves", "main"]
 
 #: default ``max_queries`` grid — log-spaced so the curves resolve both
 #: the cheap heuristics (tens of queries) and the search-heavy attacks
@@ -50,6 +50,39 @@ class FrontierPoint:
     n_examples: int
 
 
+def matrix(
+    max_examples: int = 12,
+    budgets: tuple[int, ...] = DEFAULT_BUDGETS,
+    attacks: tuple[str, ...] | None = None,
+    dataset: str = "yelp",
+    arch: str = "wcnn",
+) -> RunMatrix:
+    """The frontier grid: every attack × every hard budget, one slice.
+
+    ``attacks=None`` sweeps the whole registry (sorted by name); the grid
+    pins each cell's exact query cap through
+    :attr:`~repro.experiments.grid.MatrixAttack.max_queries`.
+    """
+    for budget in budgets:
+        if budget < 1:
+            raise ValueError("every budget must be >= 1")
+    names = tuple(attacks) if attacks is not None else tuple(sorted(ATTACKS))
+    unknown = [n for n in names if n not in ATTACKS]
+    if unknown:
+        raise KeyError(f"unknown attacks {unknown}; choose from {sorted(ATTACKS)}")
+    return RunMatrix(
+        name="frontier",
+        datasets=(dataset,),
+        models=(arch,),
+        attacks=tuple(
+            MatrixAttack.of(name, label=f"{name}_q{budget}", max_queries=budget)
+            for name in names
+            for budget in sorted(budgets)
+        ),
+        max_examples=max_examples,
+    )
+
+
 def run(
     context: ExperimentContext,
     max_examples: int = 12,
@@ -60,49 +93,35 @@ def run(
 ) -> list[FrontierPoint]:
     """The full sweep: every registry attack × every budget, one slice.
 
-    ``attacks=None`` sweeps the whole registry (sorted by name).  Each
-    cell builds a fresh attack through :meth:`ExperimentContext.make_attack`
-    — so the scoring-service / delta-scoring / trace / journal wiring is
-    identical to every other driver — and pins its hard query cap.
+    Each cell builds a fresh attack through
+    :meth:`ExperimentContext.make_attack` — so the scoring-service /
+    delta-scoring / trace / journal wiring is identical to every other
+    driver — and pins its hard query cap.
     """
-    for budget in budgets:
-        if budget < 1:
-            raise ValueError("every budget must be >= 1")
-    names = tuple(attacks) if attacks is not None else tuple(sorted(ATTACKS))
-    unknown = [n for n in names if n not in ATTACKS]
-    if unknown:
-        raise KeyError(f"unknown attacks {unknown}; choose from {sorted(ATTACKS)}")
-    model = context.model(dataset, arch)
-    test = context.dataset(dataset).test
+    grid = matrix(max_examples, budgets, attacks, dataset, arch)
     points: list[FrontierPoint] = []
-    for name in names:
-        for budget in sorted(budgets):
-            attack = context.make_attack(name, model, dataset)
-            attack.max_queries = budget
-            evaluation = evaluate_attack(
-                model,
-                attack,
-                test,
-                max_examples=max_examples,
-                **context.eval_kwargs(f"frontier_{dataset}_{arch}_{name}_q{budget}"),
-            )
-            over = [r.n_queries for r in evaluation.results if r.n_queries > budget]
-            if over:  # the exactness contract the engine guarantees
-                raise AssertionError(
-                    f"{name} overshot max_queries={budget}: {over}"
-                )
-            point = FrontierPoint(
-                attack=name,
-                max_queries=budget,
-                success_rate=evaluation.success_rate,
-                mean_queries=evaluation.mean_queries,
-                n_examples=len(evaluation.results),
-            )
-            points.append(point)
-            prefix = f"frontier/{name}/q{budget}"
-            context.metrics.set_gauge(f"{prefix}/success_rate", point.success_rate)
-            context.metrics.set_gauge(f"{prefix}/mean_queries", point.mean_queries)
-            context.metrics.inc(f"{prefix}/docs", point.n_examples)
+
+    def publish(result):
+        name = result.cell.attack.method
+        budget = result.cell.attack.max_queries
+        evaluation = result.evaluation
+        over = [r.n_queries for r in evaluation.results if r.n_queries > budget]
+        if over:  # the exactness contract the engine guarantees
+            raise AssertionError(f"{name} overshot max_queries={budget}: {over}")
+        point = FrontierPoint(
+            attack=name,
+            max_queries=budget,
+            success_rate=evaluation.success_rate,
+            mean_queries=evaluation.mean_queries,
+            n_examples=len(evaluation.results),
+        )
+        points.append(point)
+        prefix = f"frontier/{name}/q{budget}"
+        context.metrics.set_gauge(f"{prefix}/success_rate", point.success_rate)
+        context.metrics.set_gauge(f"{prefix}/mean_queries", point.mean_queries)
+        context.metrics.inc(f"{prefix}/docs", point.n_examples)
+
+    GridRunner(context).run(grid, on_cell=publish)
     return points
 
 

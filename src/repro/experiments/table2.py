@@ -14,11 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.eval.metrics import evaluate_attack
 from repro.eval.reporting import format_percent, format_table
 from repro.experiments.common import DATASETS, MODELS, ExperimentContext
+from repro.experiments.grid import GridRunner, MatrixAttack, RunMatrix
 
-__all__ = ["Table2Row", "run", "main"]
+__all__ = ["Table2Row", "matrix", "run", "main"]
 
 
 @dataclass
@@ -30,6 +30,24 @@ class Table2Row:
     adv_greedy_baseline: float
 
 
+def matrix(
+    max_examples: int = 40,
+    datasets: tuple[str, ...] = DATASETS,
+    models: tuple[str, ...] = MODELS,
+) -> RunMatrix:
+    """The Table-2 grid: both paper attacks on every dataset × victim."""
+    return RunMatrix(
+        name="table2",
+        datasets=datasets,
+        models=models,
+        attacks=(
+            MatrixAttack.of("joint", word_budget=0.2),
+            MatrixAttack.of("objective-greedy", label="greedy", word_budget=0.5),
+        ),
+        max_examples=max_examples,
+    )
+
+
 def run(
     context: ExperimentContext,
     max_examples: int = 40,
@@ -37,25 +55,12 @@ def run(
     models: tuple[str, ...] = MODELS,
 ) -> list[Table2Row]:
     """Compute all Table-2 rows (subsampled test sets for tractability)."""
+    frame = GridRunner(context).run(matrix(max_examples, datasets, models))
     rows: list[Table2Row] = []
     for dataset in datasets:
-        test = context.dataset(dataset).test
         for arch in models:
-            model = context.model(dataset, arch)
-            ours = evaluate_attack(
-                model,
-                context.make_attack("joint", model, dataset, word_budget=0.2),
-                test,
-                max_examples=max_examples,
-                **context.eval_kwargs(f"table2_{dataset}_{arch}_joint"),
-            )
-            greedy = evaluate_attack(
-                model,
-                context.make_attack("objective-greedy", model, dataset, word_budget=0.5),
-                test,
-                max_examples=max_examples,
-                **context.eval_kwargs(f"table2_{dataset}_{arch}_greedy"),
-            )
+            ours = frame.get(dataset=dataset, arch=arch, attack="joint").evaluation
+            greedy = frame.get(dataset=dataset, arch=arch, attack="greedy").evaluation
             rows.append(
                 Table2Row(
                     dataset=dataset,

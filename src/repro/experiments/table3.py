@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.eval.metrics import evaluate_attack
 from repro.eval.reporting import format_percent, format_seconds, format_table
 from repro.experiments.common import DATASETS, ExperimentContext
+from repro.experiments.grid import GridRunner, MatrixAttack, RunMatrix
 
-__all__ = ["Table3Row", "METHODS", "run", "main"]
+__all__ = ["Table3Row", "METHODS", "matrix", "run", "main"]
 
 METHODS = ("objective-greedy", "gradient", "gradient-guided")
 
@@ -38,6 +38,26 @@ class Table3Row:
     mean_queries: float
 
 
+def matrix(
+    max_examples: int = 40,
+    datasets: tuple[str, ...] = DATASETS,
+    word_budgets: tuple[float, ...] = (0.05, 0.2),
+) -> RunMatrix:
+    """The Table-3 grid: every method × word budget, WCNN victims only."""
+    return RunMatrix(
+        name="table3",
+        datasets=datasets,
+        models=("wcnn",),
+        attacks=tuple(
+            MatrixAttack.of(method, label=f"{method}_lw{budget}", word_budget=budget)
+            for budget in word_budgets
+            for method in METHODS
+        ),
+        max_examples=max_examples,
+        arch_in_tag=False,
+    )
+
+
 def run(
     context: ExperimentContext,
     max_examples: int = 40,
@@ -45,19 +65,14 @@ def run(
     word_budgets: tuple[float, ...] = (0.05, 0.2),
 ) -> list[Table3Row]:
     """All Table-3 cells on the WCNN victims."""
+    frame = GridRunner(context).run(matrix(max_examples, datasets, word_budgets))
     rows: list[Table3Row] = []
     for dataset in datasets:
-        model = context.model(dataset, "wcnn")
-        test = context.dataset(dataset).test
         for budget in word_budgets:
             for method in METHODS:
-                ev = evaluate_attack(
-                    model,
-                    context.make_attack(method, model, dataset, word_budget=budget),
-                    test,
-                    max_examples=max_examples,
-                    **context.eval_kwargs(f"table3_{dataset}_{method}_lw{budget}"),
-                )
+                ev = frame.get(
+                    dataset=dataset, attack=f"{method}_lw{budget}"
+                ).evaluation
                 rows.append(
                     Table3Row(
                         dataset=dataset,

@@ -20,12 +20,12 @@ from repro.eval.human_sim import (
     make_canonicalizer,
     run_human_evaluation,
 )
-from repro.eval.metrics import evaluate_attack
 from repro.eval.reporting import format_table
 from repro.experiments.common import DATASETS, ExperimentContext
+from repro.experiments.grid import GridRunner, MatrixAttack, RunMatrix
 from repro.models.bow import BowClassifier
 
-__all__ = ["Table4Row", "run", "main"]
+__all__ = ["Table4Row", "matrix", "run", "main"]
 
 
 @dataclass
@@ -33,6 +33,22 @@ class Table4Row:
     dataset: str
     original: HumanEvalResult
     adversarial: HumanEvalResult
+
+
+def matrix(
+    n_texts: int = 30,
+    datasets: tuple[str, ...] = DATASETS,
+    arch: str = "wcnn",
+) -> RunMatrix:
+    """The attack half of Table 4: joint attacks feeding the annotators."""
+    return RunMatrix(
+        name="table4",
+        datasets=datasets,
+        models=(arch,),
+        attacks=(MatrixAttack.of("joint"),),
+        max_examples=n_texts,
+        arch_in_tag=False,
+    )
 
 
 def run(
@@ -43,10 +59,10 @@ def run(
     n_annotators: int = 5,
 ) -> list[Table4Row]:
     """One row (original vs adversarial) per dataset."""
+    frame = GridRunner(context).run(matrix(n_texts, datasets, arch))
     rows: list[Table4Row] = []
     for dataset in datasets:
         ds = context.dataset(dataset)
-        model = context.model(dataset, arch)
         # Comprehension oracle: a bag-of-words reader over *canonicalized*
         # text — annotators, like humans, map synonyms to shared meanings.
         canonicalize = make_canonicalizer(context.lexicon(dataset))
@@ -59,13 +75,7 @@ def run(
             oracle, lm, n=n_annotators, seed=context.settings.seed, canonicalize=canonicalize
         )
 
-        ev = evaluate_attack(
-            model,
-            context.make_attack("joint", model, dataset),
-            ds.test,
-            max_examples=n_texts,
-            **context.eval_kwargs(f"table4_{dataset}_joint"),
-        )
+        ev = frame.get(dataset=dataset, attack="joint").evaluation
         original_docs = [r.original for r in ev.results]
         adversarial_docs = [r.adversarial for r in ev.results]
         true_labels = np.array([1 - r.target_label for r in ev.results])

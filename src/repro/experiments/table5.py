@@ -4,6 +4,11 @@ Paper protocol: attack 20% of the training data with Algorithm 1, merge
 the adversarial examples (with corrected labels) into the training set,
 retrain, and report clean test and adversarial accuracy before/after.
 
+This driver is the ``adv_training`` column of the defense registry run as
+a two-defense grid: the undefended baseline cell supplies the "before"
+accuracies, the :class:`~repro.defense.registry.AdversarialTrainingDefense`
+cell the "after" ones — the same hardening path the tournament uses.
+
 Shape target: adversarial accuracy rises after adversarial training while
 clean test accuracy does not degrade (often improves slightly).
 """
@@ -12,11 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.defense.adversarial_training import AdversarialTrainingResult, adversarial_training
+from repro.defense.adversarial_training import AdversarialTrainingResult
 from repro.eval.reporting import format_percent, format_table
 from repro.experiments.common import DATASETS, ExperimentContext
+from repro.experiments.grid import GridRunner, MatrixAttack, MatrixDefense, RunMatrix
 
-__all__ = ["Table5Row", "run", "main"]
+__all__ = ["Table5Row", "matrix", "run", "main"]
 
 
 @dataclass
@@ -24,6 +30,26 @@ class Table5Row:
     dataset: str
     model: str
     result: AdversarialTrainingResult
+
+
+def matrix(
+    datasets: tuple[str, ...] = DATASETS,
+    models: tuple[str, ...] = ("wcnn",),
+    augment_fraction: float = 0.2,
+    max_eval_examples: int = 40,
+) -> RunMatrix:
+    """The Table-5 grid: the joint attack against bare vs hardened victims."""
+    return RunMatrix(
+        name="table5",
+        datasets=datasets,
+        models=models,
+        attacks=(MatrixAttack.of("joint"),),
+        defenses=(
+            MatrixDefense.of("none"),
+            MatrixDefense.of("adv_training", augment_fraction=augment_fraction),
+        ),
+        max_examples=max_eval_examples,
+    )
 
 
 def run(
@@ -35,18 +61,25 @@ def run(
 ) -> list[Table5Row]:
     """Adversarial-training rows; LSTM included only when requested
     (it is several times slower on this substrate)."""
+    frame = GridRunner(context).run(
+        matrix(datasets, models, augment_fraction, max_eval_examples),
+        seed=context.settings.seed,
+    )
     rows: list[Table5Row] = []
     for dataset in datasets:
-        ds = context.dataset(dataset)
+        n_augmented = max(
+            1, int(augment_fraction * len(context.dataset(dataset).train))
+        )
         for arch in models:
-            result = adversarial_training(
-                model_factory=lambda a=arch, d=dataset: context.build_model(d, a),
-                attack_factory=lambda m, d=dataset: context.make_attack("joint", m, d),
-                dataset=ds,
-                train_config=context.train_config(),
-                augment_fraction=augment_fraction,
-                max_eval_examples=max_eval_examples,
-                seed=context.settings.seed,
+            before = frame.get(dataset=dataset, arch=arch, defense="none")
+            after = frame.get(dataset=dataset, arch=arch, defense="adv_training")
+            result = AdversarialTrainingResult(
+                test_before=before.evaluation.clean_accuracy,
+                test_after=after.evaluation.clean_accuracy,
+                adv_before=before.evaluation.adversarial_accuracy,
+                adv_after=after.evaluation.adversarial_accuracy,
+                n_augmented=n_augmented,
+                model_after=after.victim,
             )
             rows.append(Table5Row(dataset=dataset, model=arch, result=result))
     return rows

@@ -3,14 +3,18 @@
 Reports the corpus sizes, vocabulary and length statistics of the three
 synthetic task corpora, mirroring the paper's appendix table (at reduced
 scale — the substitution is documented in DESIGN.md).
+
+The matrix is degenerate — a dataset axis and nothing else — so the grid
+runs it with a custom ``cell_fn`` instead of an attack evaluation.
 """
 
 from __future__ import annotations
 
 from repro.eval.reporting import format_table
 from repro.experiments.common import DATASETS, ExperimentContext
+from repro.experiments.grid import GridRunner, RunMatrix
 
-__all__ = ["run", "main"]
+__all__ = ["matrix", "run", "main"]
 
 _TASK_NAMES = {
     "news": "Fake news detection",
@@ -19,14 +23,21 @@ _TASK_NAMES = {
 }
 
 
+def matrix(datasets: tuple[str, ...] = DATASETS) -> RunMatrix:
+    """The Table-6 grid: one cell per corpus, no models or attacks."""
+    return RunMatrix(name="table6", datasets=datasets)
+
+
+def _statistics(runner: GridRunner, cell) -> dict:
+    stats = runner.context.dataset(cell.dataset).statistics()
+    stats["paper_task"] = _TASK_NAMES[cell.dataset]
+    return stats
+
+
 def run(context: ExperimentContext, datasets: tuple[str, ...] = DATASETS) -> list[dict]:
     """One statistics dict per dataset (Table 6 rows)."""
-    rows = []
-    for name in datasets:
-        stats = context.dataset(name).statistics()
-        stats["paper_task"] = _TASK_NAMES[name]
-        rows.append(stats)
-    return rows
+    frame = GridRunner(context).run(matrix(datasets), cell_fn=_statistics)
+    return [result.value for result in frame]
 
 
 def render(rows: list[dict]) -> str:

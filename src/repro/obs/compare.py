@@ -50,11 +50,16 @@ __all__ = [
 DEFAULT_REL_TOL = 0.1
 
 #: substring -> direction, checked in order; first match wins.  "lower"
-#: patterns go first so e.g. ``failure_rate`` is not caught by ``rate``.
+#: patterns go first so e.g. ``failure_rate`` is not caught by ``rate``
+#: and a transfer-matrix ``success_rate`` is not caught by ``success``:
+#: adversarial documents transferring to other victims more often is a
+#: robustness *regression* even though attack success is normally the
+#: candidate's own figure of merit.
 _DIRECTION_PATTERNS: tuple[tuple[str, str], ...] = (
     ("failure", "lower"),
     ("error", "lower"),
     ("eviction", "lower"),
+    ("transfer", "lower"),
     ("queries", "lower"),
     ("seconds", "lower"),
     ("wall_time", "lower"),
@@ -145,6 +150,16 @@ def summarize_run_dir(run_dir: str | Path) -> dict[str, float]:
     if wall is not None and wall.count:
         out["wall_time_per_doc_p50_seconds"] = wall.quantile(0.5)
         out["wall_time_per_doc_p95_seconds"] = wall.quantile(0.95)
+
+    # standing-leaderboard gauges (tournament cells, transfer matrix,
+    # frontier curves) gate directly: each is a stable per-cell scalar.
+    # The tournament writes its own summary cell into the run section;
+    # frontier gauges ride the cumulative context snapshot.
+    context_gauges = (metrics["context"] or {}).get("gauges") or {}
+    for source in (context_gauges, run.gauges):
+        for name, value in source.items():
+            if name.startswith(("tournament/", "frontier/")):
+                out[name] = float(value)
 
     points = [p for p in load_run_series(run_dir) if p.get("source") == "run"]
     if points:

@@ -41,6 +41,7 @@ __all__ = [
     "render_report",
     "render_phase_table",
     "render_frontier_leaderboard",
+    "render_tournament_report",
 ]
 
 METRICS_FILENAME = "metrics.json"
@@ -243,6 +244,169 @@ def render_frontier_leaderboard(points: list[dict]) -> str:
             _md_table(headers, rows),
         ]
     )
+
+
+def render_tournament_report(cells: list[dict], transfers: list[dict]) -> str:
+    """Markdown leaderboard for a robustness tournament.
+
+    ``cells`` are flattened tournament cells (keys ``dataset``, ``arch``,
+    ``defense``, ``attack``, ``clean_accuracy``, ``adversarial_accuracy``,
+    ``success_rate``, ``mean_queries``, ``n_failures``); ``transfers``
+    are transfer-matrix entries (``attack``, ``src_arch``, ``dst_arch``,
+    ``transfer_rate``, ``n_docs``).  Both arrive as plain dicts — the
+    :mod:`repro.experiments.tournament` driver passes its dataclasses
+    through ``asdict`` — keeping this module free of attack/eval imports.
+
+    Rankings: defenses by mean adversarial accuracy across every attack
+    cell (higher = sturdier), attacks by mean success rate across every
+    defended victim (higher = stronger).
+    """
+    if not cells:
+        return "_no tournament cells recorded_"
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    defenses = sorted(
+        {str(c["defense"]) for c in cells}, key=lambda d: (d != "none", d)
+    )
+    attacks = sorted({str(c["attack"]) for c in cells})
+    victims = sorted({(str(c["dataset"]), str(c["arch"])) for c in cells})
+
+    out: list[str] = ["# Robustness tournament leaderboard", ""]
+    n_docs = max(int(c.get("n_examples", 0)) for c in cells)
+    out += [
+        f"{len(cells)} cells — {len(attacks)} attacks × {len(defenses)} defenses × "
+        f"{len(victims)} victims, {n_docs} documents per cell.",
+        "",
+    ]
+
+    # -- defense leaderboard -------------------------------------------------
+    defense_rows = []
+    ranked_defenses = sorted(
+        defenses,
+        key=lambda d: -mean(
+            [c["adversarial_accuracy"] for c in cells if c["defense"] == d]
+        ),
+    )
+    for rank, d in enumerate(ranked_defenses, start=1):
+        mine = [c for c in cells if c["defense"] == d]
+        defense_rows.append(
+            [
+                str(rank),
+                f"`{d}`",
+                f"{mean([c['adversarial_accuracy'] for c in mine]):.1%}",
+                f"{mean([c['clean_accuracy'] for c in mine]):.1%}",
+                f"{mean([c['success_rate'] for c in mine]):.1%}",
+                _fmt(sum(c.get("n_failures", 0) for c in mine)),
+            ]
+        )
+    out += [
+        "## Defenses (by adversarial accuracy under attack)",
+        "",
+        _md_table(
+            ["rank", "defense", "adv acc", "clean acc", "attack success", "failures"],
+            defense_rows,
+        ),
+        "",
+    ]
+
+    # -- attack leaderboard: success rate per defense column ------------------
+    ranked_attacks = sorted(
+        attacks,
+        key=lambda a: -mean([c["success_rate"] for c in cells if c["attack"] == a]),
+    )
+    attack_rows = []
+    for rank, a in enumerate(ranked_attacks, start=1):
+        row = [str(rank), f"`{a}`"]
+        for d in defenses:
+            mine = [
+                c["success_rate"]
+                for c in cells
+                if c["attack"] == a and c["defense"] == d
+            ]
+            row.append(f"{mean(mine):.1%}" if mine else "—")
+        row.append(
+            f"{mean([c['mean_queries'] for c in cells if c['attack'] == a]):.0f}"
+        )
+        attack_rows.append(row)
+    out += [
+        "## Attacks (success rate per defense)",
+        "",
+        _md_table(
+            ["rank", "attack"] + [f"vs `{d}`" for d in defenses] + ["queries/doc"],
+            attack_rows,
+        ),
+        "",
+    ]
+
+    # -- transferability matrix ----------------------------------------------
+    out += ["## Transferability (crafted on row, replayed on column)", ""]
+    if transfers:
+        archs = sorted(
+            {str(t["src_arch"]) for t in transfers}
+            | {str(t["dst_arch"]) for t in transfers}
+        )
+        rows = []
+        for src in archs:
+            row = [f"`{src}`"]
+            for dst in archs:
+                # cells with no successful source documents carry no
+                # transfer information; keep them out of the mean
+                mine = [
+                    t["transfer_rate"]
+                    for t in transfers
+                    if t["src_arch"] == src
+                    and t["dst_arch"] == dst
+                    and t.get("n_docs", 0) > 0
+                ]
+                row.append(f"{mean(mine):.1%}" if mine else "—")
+            rows.append(row)
+        out += [
+            _md_table(["crafted on \\ vs"] + [f"`{a}`" for a in archs], rows),
+            "",
+            "Mean over attacks of the share of successful adversarial "
+            "documents that also flip the column victim (diagonal ≈ 100% "
+            "by construction).",
+            "",
+        ]
+    else:
+        out += ["_no transfer cells recorded_", ""]
+
+    # -- full grid ------------------------------------------------------------
+    cell_rows = [
+        [
+            str(c["dataset"]),
+            str(c["arch"]),
+            f"`{c['defense']}`",
+            f"`{c['attack']}`",
+            f"{c['clean_accuracy']:.1%}",
+            f"{c['adversarial_accuracy']:.1%}",
+            f"{c['success_rate']:.1%}",
+            f"{c['mean_queries']:.0f}",
+            _fmt(c.get("n_failures", 0)),
+        ]
+        for c in cells
+    ]
+    out += [
+        "## All cells",
+        "",
+        _md_table(
+            [
+                "dataset",
+                "victim",
+                "defense",
+                "attack",
+                "clean",
+                "adv acc",
+                "success",
+                "queries",
+                "failures",
+            ],
+            cell_rows,
+        ),
+    ]
+    return "\n".join(out)
 
 
 def _trace_digest(run_dir: str | Path) -> dict:

@@ -1,0 +1,48 @@
+"""Regenerate the driver golden fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/experiments/make_golden_drivers.py
+
+Only do this deliberately (e.g. after an intentional output-changing
+change to a driver's protocol) — the whole point of the fixtures is that
+refactors of the experiments layer reproduce them bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from experiments.golden_drivers import (  # noqa: E402
+    GOLDEN_DIR,
+    GOLDEN_SETTINGS,
+    GOLDEN_SLICES,
+    normalize_rows,
+    run_driver,
+)
+from repro.experiments import ExperimentContext, ExperimentSettings  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    with tempfile.TemporaryDirectory() as cache:
+        context = ExperimentContext(
+            ExperimentSettings(**GOLDEN_SETTINGS), cache_dir=cache
+        )
+        for name in sorted(GOLDEN_SLICES):
+            start = time.perf_counter()
+            rows = normalize_rows(run_driver(context, name))
+            path = GOLDEN_DIR / f"{name}.json"
+            path.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+            print(f"[{name}: {len(rows)} rows -> {path} in {time.perf_counter() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

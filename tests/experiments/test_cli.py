@@ -90,6 +90,41 @@ class TestListAttacksCli:
             assert entry["params"] == list(spec.params)
 
 
+class TestListDefensesCli:
+    def test_lists_every_registry_defense(self, capsys):
+        from repro.defense import DEFENSES
+
+        assert main(["list-defenses"]) == 0
+        out = capsys.readouterr().out
+        for name in DEFENSES:
+            assert name in out
+        assert f"{len(DEFENSES)} defenses" in out
+
+    def test_shows_kind_and_black_box_columns(self, capsys):
+        assert main(["list-defenses"]) == 0
+        out = capsys.readouterr().out
+        assert "kind" in out and "black box" in out
+        assert "training" in out and "inference" in out
+
+    def test_rejects_extra_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["list-defenses", "--bogus"])
+
+    def test_json_dump_is_machine_readable(self, capsys):
+        from repro.defense import DEFENSES
+
+        assert main(["list-defenses", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload} == set(DEFENSES)
+        for entry in payload:
+            spec = DEFENSES[entry["name"]]
+            assert entry["kind"] == spec.kind
+            assert entry["black_box"] == spec.black_box
+            assert entry["params"] == list(spec.params)
+            assert entry["needs"] == list(spec.needs)
+            assert entry["reference"] == spec.reference
+
+
 @pytest.fixture
 def traced_run(tmp_path):
     """A minimal but schema-valid run directory for the report verb."""
@@ -209,6 +244,49 @@ class TestCompareCli:
         assert main(["compare", str(comparable_run), str(copy), "--out", str(out_file)]) == 0
         assert out_file.read_text().startswith("# Run comparison")
         assert capsys.readouterr().out == ""
+
+
+class TestCompareTournamentGates:
+    """The compare verb gates tournament leaderboard gauges directionally."""
+
+    ADV_ACC = "tournament/yelp/wcnn/adv_training/joint/adversarial_accuracy"
+    TRANSFER = "tournament/transfer/yelp/joint/wcnn_to_lstm/success_rate"
+
+    @pytest.fixture
+    def tournament_run(self, tmp_path):
+        run_dir = tmp_path / "baseline"
+        reg = MetricsRegistry()
+        reg.set_gauge(self.ADV_ACC, 0.8)
+        reg.set_gauge(self.TRANSFER, 0.2)
+        write_run_metrics(run_dir / "tournament_summary", reg.snapshot())
+        return run_dir
+
+    def _doctor(self, run_dir, name, factor):
+        path = run_dir / "tournament_summary" / METRICS_FILENAME
+        payload = json.loads(path.read_text())
+        payload["run"]["gauges"][name] *= factor
+        path.write_text(json.dumps(payload))
+
+    def test_identical_tournaments_pass(self, tournament_run, tmp_path):
+        copy = tmp_path / "candidate"
+        shutil.copytree(tournament_run, copy)
+        assert main(["compare", str(tournament_run), str(copy)]) == 0
+
+    def test_weakened_defense_exits_1(self, capsys, tournament_run, tmp_path):
+        copy = tmp_path / "candidate"
+        shutil.copytree(tournament_run, copy)
+        self._doctor(copy, self.ADV_ACC, 0.5)  # defense got weaker
+        assert main(["compare", str(tournament_run), str(copy)]) == 1
+        captured = capsys.readouterr()
+        assert "**FAIL**" in captured.out
+        assert self.ADV_ACC in captured.err
+
+    def test_increased_transfer_exits_1(self, capsys, tournament_run, tmp_path):
+        copy = tmp_path / "candidate"
+        shutil.copytree(tournament_run, copy)
+        self._doctor(copy, self.TRANSFER, 3.0)  # attacks transfer more
+        assert main(["compare", str(tournament_run), str(copy)]) == 1
+        assert self.TRANSFER in capsys.readouterr().err
 
 
 class TestWatchCli:

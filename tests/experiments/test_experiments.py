@@ -74,6 +74,20 @@ class TestContext:
         for method in ("joint", "gradient-guided", "objective-greedy", "gradient", "random"):
             assert ctx.make_attack(method, model, "yelp") is not None
 
+    def test_every_alias_resolves(self, ctx):
+        # the registry and the alias table live in different modules and
+        # have drifted before; every alias must name a registry entry and
+        # actually build through make_attack
+        from repro.attacks import ATTACKS
+        from repro.experiments.common import METHOD_ALIASES
+
+        model = ctx.model("yelp", "wcnn")
+        for alias, target in METHOD_ALIASES.items():
+            assert target in ATTACKS
+            attack = ctx.make_attack(alias, model, "yelp")
+            assert attack is not None
+            assert type(attack) is type(ctx.make_attack(target, model, "yelp"))
+
 
 class TestTable6:
     def test_rows(self, ctx):

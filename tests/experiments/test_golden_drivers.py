@@ -1,0 +1,45 @@
+"""Golden parity: matrix-backed drivers == pre-refactor hand-rolled loops.
+
+The fixtures under ``golden/`` were generated from the pre-refactor
+drivers (each with its own dataset × model × method loop); after the
+run-matrix rewrite every driver must reproduce them exactly — same
+floats, same ordering, same structure.  Wall-clock fields are zeroed on
+both sides (see ``golden_drivers.py``).
+"""
+
+import json
+
+import pytest
+
+from tests.experiments.golden_drivers import (
+    GOLDEN_DIR,
+    GOLDEN_SETTINGS,
+    GOLDEN_SLICES,
+    normalize_rows,
+    run_driver,
+)
+
+from repro.experiments import ExperimentContext, ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def golden_ctx(tmp_path_factory):
+    return ExperimentContext(
+        ExperimentSettings(**GOLDEN_SETTINGS),
+        cache_dir=tmp_path_factory.mktemp("golden_cache"),
+    )
+
+
+@pytest.mark.parametrize("driver", sorted(GOLDEN_SLICES))
+def test_driver_matches_pre_refactor_golden(golden_ctx, driver):
+    golden_path = GOLDEN_DIR / f"{driver}.json"
+    assert golden_path.exists(), (
+        f"missing golden fixture for {driver}; regenerate with "
+        "`PYTHONPATH=src:tests python tests/experiments/make_golden_drivers.py`"
+    )
+    expected = json.loads(golden_path.read_text())
+    actual = json.loads(json.dumps(normalize_rows(run_driver(golden_ctx, driver))))
+    assert actual == expected, (
+        f"{driver} output diverged from its pre-refactor golden — the "
+        "run-matrix declaration is not equivalent to the original loop"
+    )

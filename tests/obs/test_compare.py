@@ -171,3 +171,60 @@ class TestCompareRuns:
         assert "## Run metrics" in report
         assert "## Series trajectory" in report
         assert "## BENCH files" in report
+
+
+ADV_ACC = "tournament/yelp/wcnn/adv_training/joint/adversarial_accuracy"
+TRANSFER = "tournament/transfer/yelp/joint/wcnn_to_lstm/success_rate"
+
+
+def _make_tournament_run(run_dir, adv_acc=0.8, transfer=0.2):
+    """A run dir whose tournament_summary cell carries leaderboard gauges."""
+    reg = MetricsRegistry()
+    reg.set_gauge(ADV_ACC, adv_acc)
+    reg.set_gauge("tournament/yelp/wcnn/none/joint/success_rate", 0.9)
+    reg.set_gauge(TRANSFER, transfer)
+    write_run_metrics(run_dir / "tournament_summary", reg.snapshot())
+    return run_dir
+
+
+class TestTournamentGates:
+    @pytest.mark.parametrize(
+        ("name", "direction"),
+        [
+            (ADV_ACC, "higher"),
+            ("tournament/yelp/wcnn/none/joint/success_rate", "higher"),
+            ("tournament/yelp/wcnn/none/joint/mean_queries", "lower"),
+            ("tournament/yelp/wcnn/smoothing/gradient_word/failures", "lower"),
+            # transfer success is the attacker's win: lower is better, and
+            # the "transfer" pattern must beat the generic "success" one
+            (TRANSFER, "lower"),
+            ("frontier/joint/q100/success_rate", "higher"),
+        ],
+    )
+    def test_directions(self, name, direction):
+        assert metric_direction(name) == direction
+
+    def test_summarize_flattens_tournament_gauges(self, tmp_path):
+        run = _make_tournament_run(tmp_path / "run")
+        summary = summarize_run_dir(run)
+        assert summary[ADV_ACC] == pytest.approx(0.8)
+        assert summary[TRANSFER] == pytest.approx(0.2)
+
+    def test_weakened_defense_is_a_regression(self, tmp_path):
+        a = _make_tournament_run(tmp_path / "a", adv_acc=0.8)
+        b = _make_tournament_run(tmp_path / "b", adv_acc=0.5)
+        comparison = compare_runs(a, b)
+        assert not comparison.ok
+        assert ADV_ACC in [d.name for d in comparison.regressions]
+
+    def test_increased_transfer_is_a_regression(self, tmp_path):
+        a = _make_tournament_run(tmp_path / "a", transfer=0.2)
+        b = _make_tournament_run(tmp_path / "b", transfer=0.6)
+        comparison = compare_runs(a, b)
+        assert not comparison.ok
+        assert TRANSFER in [d.name for d in comparison.regressions]
+
+    def test_improvements_pass_both_directions(self, tmp_path):
+        a = _make_tournament_run(tmp_path / "a", adv_acc=0.5, transfer=0.6)
+        b = _make_tournament_run(tmp_path / "b", adv_acc=0.8, transfer=0.1)
+        assert compare_runs(a, b).ok
